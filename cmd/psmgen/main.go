@@ -1,0 +1,181 @@
+// Command psmgen runs the automatic PSM generation flow of the paper on a
+// set of training traces: assertion mining, the XU-automaton PSMGenerator,
+// simplify, join and the Hamming-distance calibration. It writes a binary
+// model file for cmd/psmsim plus optional Graphviz and JSON renderings.
+//
+// Usage:
+//
+//	psmgen -func a.func.csv,b.func.csv -power a.power.csv,b.power.csv \
+//	       -inputs en,we,addr,wdata -out model.psm [-dot model.dot] [-json model.json]
+//
+// Every functional trace needs its power trace in the same position; the
+// -inputs list names the primary-input signals (used by the calibration
+// regression).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"psmkit/internal/mining"
+	"psmkit/internal/powersim"
+	"psmkit/internal/psm"
+	"psmkit/internal/trace"
+)
+
+func main() {
+	funcs := flag.String("func", "", "comma-separated functional trace CSVs")
+	powers := flag.String("power", "", "comma-separated power trace CSVs (same order)")
+	inputs := flag.String("inputs", "", "comma-separated primary-input signal names")
+	out := flag.String("out", "model.psm", "output model file")
+	dot := flag.String("dot", "", "optional Graphviz output")
+	jsonOut := flag.String("json", "", "optional JSON summary output")
+	minSupport := flag.Float64("min-support", mining.DefaultConfig().MinSupport, "miner: minimum atomic-proposition support")
+	minRun := flag.Float64("min-run", mining.DefaultConfig().MinRunLength, "miner: minimum average run length for wide atoms")
+	alpha := flag.Float64("alpha", psm.DefaultMergePolicy().Alpha, "merge: t-test significance level")
+	epsilon := flag.Float64("epsilon", psm.DefaultMergePolicy().Epsilon, "merge: next-state mean tolerance")
+	maxCV := flag.Float64("max-cv", psm.DefaultCalibrationPolicy().MaxCV, "calibrate: CV threshold for data-dependent states")
+	minR := flag.Float64("min-r", psm.DefaultCalibrationPolicy().MinR, "calibrate: minimum |Pearson r|")
+	flag.Parse()
+
+	if err := run(*funcs, *powers, *inputs, *out, *dot, *jsonOut,
+		mining.Config{MinSupport: *minSupport, MinRunLength: *minRun},
+		psm.MergePolicy{Epsilon: *epsilon, Alpha: *alpha, EquivalenceMargin: psm.DefaultMergePolicy().EquivalenceMargin},
+		psm.CalibrationPolicy{MaxCV: *maxCV, MinR: *minR},
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "psmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(funcs, powers, inputs, out, dot, jsonOut string,
+	mcfg mining.Config, merge psm.MergePolicy, cal psm.CalibrationPolicy) error {
+
+	funcFiles := split(funcs)
+	powerFiles := split(powers)
+	if len(funcFiles) == 0 || len(funcFiles) != len(powerFiles) {
+		return fmt.Errorf("need matching -func and -power lists (got %d and %d)",
+			len(funcFiles), len(powerFiles))
+	}
+
+	var fts []*trace.Functional
+	var pws []*trace.Power
+	for i := range funcFiles {
+		ft, err := readFunc(funcFiles[i])
+		if err != nil {
+			return err
+		}
+		pw, err := readPower(powerFiles[i])
+		if err != nil {
+			return err
+		}
+		if pw.Len() < ft.Len() {
+			return fmt.Errorf("%s: power trace shorter than functional trace", powerFiles[i])
+		}
+		fts = append(fts, ft)
+		pws = append(pws, pw)
+	}
+
+	dict, pts, err := mining.Mine(fts, mcfg)
+	if err != nil {
+		return err
+	}
+	var chains []*psm.Chain
+	for i, pt := range pts {
+		c, err := psm.Generate(dict, pt, pws[i], i)
+		if err != nil {
+			return fmt.Errorf("%s: %w", funcFiles[i], err)
+		}
+		chains = append(chains, psm.Simplify(c, merge))
+	}
+	model := psm.Join(chains, merge)
+
+	var inputCols []int
+	for _, name := range split(inputs) {
+		col := fts[0].Column(name)
+		if col < 0 {
+			return fmt.Errorf("input signal %q not in trace schema", name)
+		}
+		inputCols = append(inputCols, col)
+	}
+	calibrated := 0
+	if len(inputCols) > 0 {
+		calibrated = psm.Calibrate(model, fts, pws, inputCols, cal)
+	}
+
+	if err := writeTo(out, func(w io.Writer) error { return psm.Save(w, model) }); err != nil {
+		return err
+	}
+	if dot != "" {
+		if err := writeTo(dot, func(w io.Writer) error { return model.WriteDOT(w, "psm") }); err != nil {
+			return err
+		}
+	}
+	if jsonOut != "" {
+		if err := writeTo(jsonOut, model.WriteJSON); err != nil {
+			return err
+		}
+	}
+
+	// Self-validation on the training set, like the paper's Table II MRE.
+	var errSum float64
+	var n int
+	for i, ft := range fts {
+		res := powersim.Run(model, ft, inputCols, pws[i], powersim.DefaultConfig())
+		errSum += res.MRE * float64(res.Instants)
+		n += res.Instants
+	}
+	fmt.Printf("model: %d states, %d transitions, %d calibrated; training MRE %.2f%%\n",
+		model.NumStates(), model.NumTransitions(), calibrated, 100*errSum/float64(n))
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func readFunc(path string) (*trace.Functional, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".vcd") {
+		return trace.ReadVCD(f)
+	}
+	return trace.ReadFunctionalCSV(f)
+}
+
+func readPower(path string) (*trace.Power, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadPowerCSV(f)
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

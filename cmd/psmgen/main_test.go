@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psmkit/internal/experiment"
+	"psmkit/internal/mining"
+	"psmkit/internal/psm"
+	"psmkit/internal/testbench"
+	"psmkit/internal/trace"
+)
+
+// writeTraces produces a small RAM training pair in dir and returns the
+// file paths.
+func writeTraces(t *testing.T, dir string) (string, string) {
+	t.Helper()
+	c, err := experiment.CaseByName("RAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := experiment.GenerateTraces(c, 2000, 1, testbench.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := filepath.Join(dir, "t.func.csv")
+	pp := filepath.Join(dir, "t.power.csv")
+	ff, err := os.Create(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.FTs[0].WriteCSV(ff); err != nil {
+		t.Fatal(err)
+	}
+	ff.Close()
+	pf, err := os.Create(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.PWs[0].WriteCSV(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	return fp, pp
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	fp, pp := writeTraces(t, dir)
+	out := filepath.Join(dir, "m.psm")
+	dot := filepath.Join(dir, "m.dot")
+	jsonOut := filepath.Join(dir, "m.json")
+
+	err := run(fp, pp, "addr,en,we,wdata", out, dot, jsonOut,
+		mining.DefaultConfig(), psm.DefaultMergePolicy(), psm.DefaultCalibrationPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{out, dot, jsonOut} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("output %s missing or empty", p)
+		}
+	}
+	// The model file loads back.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := psm.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() == 0 {
+		t.Error("loaded model has no states")
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	dir := t.TempDir()
+	fp, pp := writeTraces(t, dir)
+	out := filepath.Join(dir, "m.psm")
+	pol := psm.DefaultMergePolicy()
+	cal := psm.DefaultCalibrationPolicy()
+
+	if err := run("", "", "", out, "", "", mining.DefaultConfig(), pol, cal); err == nil {
+		t.Error("empty file lists accepted")
+	}
+	if err := run(fp, "", "", out, "", "", mining.DefaultConfig(), pol, cal); err == nil {
+		t.Error("mismatched file lists accepted")
+	}
+	if err := run(fp, pp, "nosuchsignal", out, "", "", mining.DefaultConfig(), pol, cal); err == nil {
+		t.Error("unknown input signal accepted")
+	}
+	if err := run("missing.csv", pp, "", out, "", "", mining.DefaultConfig(), pol, cal); err == nil {
+		t.Error("missing functional trace accepted")
+	}
+}
+
+func TestRunShortPowerTraceRejected(t *testing.T) {
+	dir := t.TempDir()
+	fp, _ := writeTraces(t, dir)
+	short := filepath.Join(dir, "short.power.csv")
+	pw := &trace.Power{Values: []float64{1, 2, 3}}
+	f, err := os.Create(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	err = run(fp, short, "", filepath.Join(dir, "m.psm"), "", "",
+		mining.DefaultConfig(), psm.DefaultMergePolicy(), psm.DefaultCalibrationPolicy())
+	if err == nil {
+		t.Error("short power trace accepted")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	if got := split(""); got != nil {
+		t.Errorf("split empty = %v", got)
+	}
+	got := split(" a.csv , b.csv ,, c.csv ")
+	want := []string{"a.csv", "b.csv", "c.csv"}
+	if len(got) != len(want) {
+		t.Fatalf("split = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("split[%d] = %q", i, got[i])
+		}
+	}
+}

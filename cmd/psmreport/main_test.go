@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunTableI(t *testing.T) {
+	if err := run(1, false, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, false, 1, "AES"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTableIISmallScale(t *testing.T) {
+	if err := run(2, false, 0.02, "MultSum"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, true, 0.002, "MultSum"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTableIIISmallScale(t *testing.T) {
+	if err := run(3, false, 0.03, "RAM"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTableIVSmallScale(t *testing.T) {
+	if err := run(4, false, 0.05, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTableVSmallScale(t *testing.T) {
+	if err := run(5, false, 0.05, "RAM"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, false, 1, ""); err == nil {
+		t.Error("table 0 accepted")
+	}
+	if err := run(2, false, 1, "Z80"); err == nil {
+		t.Error("unknown IP accepted")
+	}
+}

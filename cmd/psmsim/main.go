@@ -1,0 +1,121 @@
+// Command psmsim simulates a generated PSM model against a functional
+// trace, reproducing the paper's validation loop: per-instant power
+// estimates, and — when a reference power trace is given — the MRE and
+// wrong-state-prediction metrics of Tables II/III.
+//
+// Usage:
+//
+//	psmsim -model model.psm -func val.func.csv [-power val.power.csv] \
+//	       -inputs en,we,addr,wdata [-est estimates.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"psmkit/internal/powersim"
+	"psmkit/internal/psm"
+	"psmkit/internal/trace"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.psm", "model file from psmgen")
+	funcPath := flag.String("func", "", "functional trace CSV to simulate")
+	powerPath := flag.String("power", "", "optional reference power trace CSV")
+	inputs := flag.String("inputs", "", "comma-separated primary-input signal names")
+	estOut := flag.String("est", "", "optional output CSV of per-instant power estimates")
+	noResync := flag.Bool("no-resync", false, "disable HMM resynchronization (basic Section III-C simulation)")
+	flag.Parse()
+
+	if err := run(*modelPath, *funcPath, *powerPath, *inputs, *estOut, *noResync); err != nil {
+		fmt.Fprintln(os.Stderr, "psmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath, funcPath, powerPath, inputs, estOut string, noResync bool) error {
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := psm.Load(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+
+	ff, err := os.Open(funcPath)
+	if err != nil {
+		return err
+	}
+	var ft *trace.Functional
+	if strings.HasSuffix(funcPath, ".vcd") {
+		ft, err = trace.ReadVCD(ff)
+	} else {
+		ft, err = trace.ReadFunctionalCSV(ff)
+	}
+	ff.Close()
+	if err != nil {
+		return err
+	}
+
+	var ref *trace.Power
+	if powerPath != "" {
+		pf, err := os.Open(powerPath)
+		if err != nil {
+			return err
+		}
+		ref, err = trace.ReadPowerCSV(pf)
+		pf.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	var inputCols []int
+	for _, name := range strings.Split(inputs, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		col := ft.Column(name)
+		if col < 0 {
+			return fmt.Errorf("input signal %q not in trace schema", name)
+		}
+		inputCols = append(inputCols, col)
+	}
+
+	cfg := powersim.Config{Resync: !noResync}
+	res := powersim.Run(model, ft, inputCols, ref, cfg)
+
+	fmt.Printf("instants: %d\n", res.Instants)
+	fmt.Printf("state predictions: %d (wrong: %d, WSP %.1f%%)\n",
+		res.Predictions, res.WrongPredictions, 100*res.WSP())
+	fmt.Printf("unsynchronized instants: %d\n", res.UnsyncedInstants)
+	if ref != nil {
+		fmt.Printf("MRE vs reference: %.2f%%\n", 100*res.MRE)
+	}
+
+	if estOut != "" {
+		est := &trace.Power{Values: res.Estimates}
+		if err := writeTo(estOut, est.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("wrote estimates to %s\n", estOut)
+	}
+	return nil
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psmkit/internal/experiment"
+	"psmkit/internal/psm"
+	"psmkit/internal/testbench"
+)
+
+// fixture trains a small RAM model and writes model + validation traces.
+func fixture(t *testing.T) (model, funcCSV, powerCSV string) {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := experiment.CaseByName("RAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := experiment.GenerateTraces(c, 2500, experiment.Pieces, testbench.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := experiment.BuildModel(train, experiment.DefaultPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model = filepath.Join(dir, "m.psm")
+	mf, err := os.Create(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := psm.Save(mf, flow.Model); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	val, err := experiment.GenerateTraces(c, 1200, 1, testbench.Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcCSV = filepath.Join(dir, "v.func.csv")
+	powerCSV = filepath.Join(dir, "v.power.csv")
+	ff, _ := os.Create(funcCSV)
+	if err := val.FTs[0].WriteCSV(ff); err != nil {
+		t.Fatal(err)
+	}
+	ff.Close()
+	pf, _ := os.Create(powerCSV)
+	if err := val.PWs[0].WriteCSV(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	return model, funcCSV, powerCSV
+}
+
+func TestRunValidatesModelAgainstTrace(t *testing.T) {
+	model, funcCSV, powerCSV := fixture(t)
+	est := filepath.Join(filepath.Dir(model), "est.csv")
+	if err := run(model, funcCSV, powerCSV, "addr,en,we,wdata", est, false); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(est)
+	if err != nil || st.Size() == 0 {
+		t.Error("estimates file missing or empty")
+	}
+}
+
+func TestRunWithoutReferenceOrEstimates(t *testing.T) {
+	model, funcCSV, _ := fixture(t)
+	if err := run(model, funcCSV, "", "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	model, funcCSV, powerCSV := fixture(t)
+	if err := run("missing.psm", funcCSV, powerCSV, "", "", false); err == nil {
+		t.Error("missing model accepted")
+	}
+	if err := run(model, "missing.csv", powerCSV, "", "", false); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run(model, funcCSV, "missing.csv", "", "", false); err == nil {
+		t.Error("missing power trace accepted")
+	}
+	if err := run(model, funcCSV, powerCSV, "bogus", "", false); err == nil {
+		t.Error("unknown input signal accepted")
+	}
+	// The model file itself must be validated.
+	bad := filepath.Join(filepath.Dir(model), "bad.psm")
+	if err := os.WriteFile(bad, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, funcCSV, powerCSV, "", "", false); err == nil {
+		t.Error("corrupt model accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psmkit/internal/trace"
+)
+
+func TestRunWritesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "out")
+	if err := run("RAM", 500, 3, false, prefix, true); err != nil {
+		t.Fatal(err)
+	}
+
+	ff, err := os.Open(prefix + ".func.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := trace.ReadFunctionalCSV(ff)
+	ff.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Len() != 500 {
+		t.Errorf("functional trace has %d instants", ft.Len())
+	}
+
+	pf, err := os.Open(prefix + ".power.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := trace.ReadPowerCSV(pf)
+	pf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Len() != 500 {
+		t.Errorf("power trace has %d instants", pw.Len())
+	}
+
+	vf, err := os.Open(prefix + ".vcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcd, err := trace.ReadVCD(vf)
+	vf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vcd.Len() != ft.Len() {
+		t.Errorf("VCD rows %d, CSV rows %d", vcd.Len(), ft.Len())
+	}
+	// The VCD round trip reproduces the CSV values.
+	for i := 0; i < ft.Len(); i++ {
+		for c, s := range ft.Signals {
+			vc := vcd.Column(s.Name)
+			if vc < 0 || !vcd.Value(i, vc).Equal(ft.Value(i, c)) {
+				t.Fatalf("instant %d signal %s differs between CSV and VCD", i, s.Name)
+			}
+		}
+	}
+}
+
+func TestRunStallsOptionCamellia(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("Camellia", 400, 3, true, filepath.Join(dir, "c"), false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownIP(t *testing.T) {
+	if err := run("Z80", 10, 1, false, filepath.Join(t.TempDir(), "x"), false); err == nil {
+		t.Error("unknown IP accepted")
+	}
+}

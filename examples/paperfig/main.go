@@ -1,0 +1,133 @@
+// Paperfig reproduces the worked examples of the paper's figures:
+//
+//   - Fig. 3: the 8-instant functional trace and its mined proposition
+//     trace p_a p_a p_a p_b p_b p_b p_c p_d;
+//
+//   - Fig. 5: the XU automaton recognizing ⟨p_a U p_b, 0, 2⟩,
+//     ⟨p_b U p_c, 3, 5⟩ and p_c X p_d, and the resulting 3-state chain
+//     PSM with its power attributes;
+//
+//   - Fig. 6 (a): simplify merging two adjacent power-equivalent states
+//     into a cascade;
+//
+//   - Fig. 2-style rendering of the final PSM as Graphviz.
+//
+//     go run ./examples/paperfig
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"psmkit/internal/logic"
+	"psmkit/internal/mining"
+	"psmkit/internal/psm"
+	"psmkit/internal/trace"
+)
+
+func main() {
+	// --- Fig. 3: the functional trace ------------------------------------
+	f := trace.NewFunctional([]trace.Signal{
+		{Name: "v1", Width: 1}, {Name: "v2", Width: 1},
+		{Name: "v3", Width: 4}, {Name: "v4", Width: 4},
+	})
+	rows := [][4]uint64{
+		{1, 0, 3, 1}, {1, 0, 3, 1}, {1, 0, 3, 1},
+		{0, 1, 3, 3}, {0, 1, 4, 4}, {0, 1, 2, 2},
+		{1, 1, 0, 0}, {1, 1, 3, 1},
+	}
+	for _, r := range rows {
+		f.Append([]logic.Vector{
+			logic.FromUint64(1, r[0]), logic.FromUint64(1, r[1]),
+			logic.FromUint64(4, r[2]), logic.FromUint64(4, r[3]),
+		})
+	}
+	pw := &trace.Power{Values: []float64{3.349, 3.339, 3.353, 1.902, 1.906, 1.944, 3.350, 3.343}}
+
+	fmt.Println("Fig. 3 — functional trace Φ:")
+	fmt.Println("  t   v1     v2     v3  v4   power")
+	for t := 0; t < f.Len(); t++ {
+		fmt.Printf("  %d   %-5v  %-5v  %d   %d   %.3f\n", t,
+			f.Value(t, 0).Bit(0) == 1, f.Value(t, 1).Bit(0) == 1,
+			f.Value(t, 2).Uint64(), f.Value(t, 3).Uint64(), pw.Values[t])
+	}
+
+	// Mine the proposition trace (Fig. 3's illustration uses a short
+	// trace, so the stability filter is relaxed accordingly).
+	dict, pts, err := mining.Mine([]*trace.Functional{f},
+		mining.Config{MinSupport: 0.1, MinRunLength: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pt := pts[0]
+	fmt.Println("\nmined proposition trace Γ:")
+	labels := map[int]string{}
+	next := 'a'
+	for t, id := range pt.IDs {
+		if _, ok := labels[id]; !ok {
+			labels[id] = "p_" + string(next)
+			next++
+		}
+		fmt.Printf("  t=%d: %s = %s\n", t, labels[id], dict.PropString(id))
+	}
+
+	// --- Fig. 5: the PSMGenerator over Γ ---------------------------------
+	chain, err := psm.Generate(dict, pt, pw, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFig. 5 — XU automaton output (one state per temporal assertion):")
+	for i, s := range chain.States {
+		ph := s.Alts[0].Seq.Phases[0]
+		iv := s.Intervals[0]
+		pattern := labels[ph.Prop] + " " + ph.Kind.String()
+		if i+1 < len(chain.States) {
+			pattern += " " + labels[chain.States[i+1].Alts[0].Seq.Phases[0].Prop]
+		} else {
+			pattern += " ·"
+		}
+		fmt.Printf("  s%d: ⟨%s, %d, %d⟩  power ⟨μ=%.4f, σ=%.4f, n=%d⟩\n",
+			i, pattern, iv.Start, iv.Stop, s.Power.Mean(), s.Power.StdDev(), s.Power.N)
+	}
+	for _, tr := range psm.ChainTransitions(chain) {
+		fmt.Printf("  transition s%d → s%d enabled by %s\n", tr.From, tr.To, labels[tr.Enabling])
+	}
+
+	// --- Fig. 6(a): simplify on a chain with mergeable neighbours ---------
+	fmt.Println("\nFig. 6(a) — simplify: two adjacent states with statistically")
+	fmt.Println("equal power pool into one cascade state:")
+	f2 := trace.NewFunctional([]trace.Signal{{Name: "m0", Width: 1}, {Name: "m1", Width: 1}})
+	seg := func(m0, m1 uint64, n int) {
+		for i := 0; i < n; i++ {
+			f2.Append([]logic.Vector{logic.FromUint64(1, m0), logic.FromUint64(1, m1)})
+		}
+	}
+	seg(0, 0, 4)
+	seg(0, 1, 4) // same power as the first segment
+	seg(1, 0, 4) // higher power
+	seg(1, 1, 2)
+	pw2 := &trace.Power{Values: []float64{
+		1.00, 1.01, 0.99, 1.00, 1.01, 1.00, 1.00, 0.99,
+		5.00, 5.05, 4.95, 5.00, 5.00, 5.00,
+	}}
+	d2, pts2, err := mining.Mine([]*trace.Functional{f2}, mining.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2, err := psm.Generate(d2, pts2[0], pw2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  before simplify: %d states\n", len(c2.States))
+	s2 := psm.Simplify(c2, psm.DefaultMergePolicy())
+	fmt.Printf("  after simplify:  %d states; cascade = %s\n",
+		len(s2.States), s2.States[0].Alts[0].Seq.String(d2))
+
+	// --- Fig. 2-style rendering -------------------------------------------
+	model := psm.Join([]*psm.Chain{chain}, psm.MergePolicy{Alpha: 1.1})
+	fmt.Println("\nFig. 5 PSM as Graphviz (pipe into `dot -Tsvg`):")
+	if err := model.WriteDOT(os.Stdout, "fig5"); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: generate a Power State Machine for a benchmark IP in a few
+// lines — simulate the IP to get training traces, mine the PSM, and
+// validate it against the reference power trace.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"psmkit/internal/experiment"
+	"psmkit/internal/powersim"
+	"psmkit/internal/testbench"
+)
+
+func main() {
+	// 1. Pick a benchmark IP (the 1 KB RAM) and simulate it under its
+	//    functional-verification testbench, capturing functional traces
+	//    and reference power traces. The experiment helper splits the
+	//    testset into four training traces, like the paper's flow.
+	c, err := experiment.CaseByName("RAM")
+	if err != nil {
+		log.Fatal(err)
+	}
+	traces, err := experiment.GenerateTraces(c, 8000, experiment.Pieces, testbench.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d instants (reference power estimation took %v)\n",
+		traces.Instants(), traces.PXTime.Round(1000))
+
+	// 2. Run the automatic PSM generation flow: assertion mining, the
+	//    XU-automaton PSMGenerator, simplify, join and the data-dependent
+	//    calibration.
+	flow, err := experiment.BuildModel(traces, experiment.DefaultPolicies())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := flow.Model
+	fmt.Printf("generated PSM: %d states, %d transitions (in %v)\n",
+		model.NumStates(), model.NumTransitions(), flow.GenTime.Round(1000))
+
+	// 3. Inspect the power states.
+	for _, s := range model.States {
+		kind := "constant"
+		if s.Fit != nil {
+			kind = fmt.Sprintf("regression (r=%.2f)", s.Fit.R)
+		}
+		fmt.Printf("  state s%d: μ=%.3g W, σ=%.2g, n=%d instants, output=%s\n",
+			s.ID, s.Power.Mean(), s.Power.StdDev(), s.Power.N, kind)
+	}
+
+	// 4. Validate: replay the training traces through the PSM tracker and
+	//    compare the per-instant estimates with the reference power.
+	mre, wsp := experiment.ValidateMRE(model, traces, powersim.DefaultConfig())
+	fmt.Printf("validation: MRE %.2f%%, wrong-state predictions %.1f%%\n", 100*mre, 100*wsp)
+
+	// 5. Export the PSM for documentation (Graphviz).
+	fmt.Println("\nGraphviz model (pipe into `dot -Tsvg`):")
+	if err := model.WriteDOT(os.Stdout, "ram_psm"); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module psmkit
+
+go 1.22

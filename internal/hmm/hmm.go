@@ -1,0 +1,459 @@
+// Package hmm implements the Hidden Markov Model of Section V of the
+// paper: the statistical layer that lets a set of (possibly
+// non-deterministic) PSMs be simulated efficiently.
+//
+// Contextualized to the PSM problem, the model λ = (A, B, π) is built
+// from a psm.Model as the paper specifies:
+//
+//   - Q, the hidden states, are the power states of all generated PSMs;
+//   - E, the observable events, are the temporal assertions that
+//     characterize the states;
+//   - A[i][j] is proportional to the number of transitions from state i
+//     to state j;
+//   - B[j][k] is proportional to the number of times assertion k has been
+//     included (by join operations) in the assertion set of state j;
+//   - π[i] is proportional to the number of training traces whose chain
+//     begins in state i.
+//
+// Prediction uses the standard filtering recursion
+//
+//	b'(j) ∝ Σ_i b(i)·A[i][j] · B[j][obs]
+//
+// and the resynchronization procedure masks A entries that led to wrong
+// predictions (ZeroTransition on a run-local copy).
+package hmm
+
+import (
+	"fmt"
+	"math"
+
+	"psmkit/internal/psm"
+)
+
+// HMM is the model λ = (A, B, π) plus the assertion vocabulary.
+type HMM struct {
+	// A is the row-stochastic state-transition matrix (states × states).
+	A [][]float64
+	// B is the row-stochastic observation matrix (states × assertions).
+	B [][]float64
+	// Pi is the initial-state distribution.
+	Pi []float64
+	// Assertions maps an assertion key (psm.Sequence.Key) to its
+	// observation index in B's columns.
+	Assertions map[string]int
+}
+
+// New builds the HMM from a combined PSM model.
+func New(m *psm.Model) *HMM {
+	n := m.NumStates()
+	h := &HMM{
+		A:          zeros(n, 0),
+		Pi:         make([]float64, n),
+		Assertions: map[string]int{},
+	}
+	// Observation vocabulary: every distinct assertion of every state.
+	for _, s := range m.States {
+		for _, a := range s.Alts {
+			key := a.Seq.Key()
+			if _, ok := h.Assertions[key]; !ok {
+				h.Assertions[key] = len(h.Assertions)
+			}
+		}
+	}
+	k := len(h.Assertions)
+	h.B = zeros(n, k)
+	for i := range h.A {
+		h.A[i] = make([]float64, n)
+	}
+
+	for _, t := range m.Transitions {
+		h.A[t.From][t.To] += float64(t.Count)
+	}
+	for _, s := range m.States {
+		for _, a := range s.Alts {
+			h.B[s.ID][h.Assertions[a.Seq.Key()]] += float64(a.Count)
+		}
+	}
+	for id, c := range m.Initials {
+		h.Pi[id] = float64(c)
+	}
+
+	normalizeRows(h.A)
+	normalizeRows(h.B)
+	normalize(h.Pi)
+	return h
+}
+
+// NumStates returns |Q|.
+func (h *HMM) NumStates() int { return len(h.Pi) }
+
+// NumObservations returns |E|.
+func (h *HMM) NumObservations() int { return len(h.Assertions) }
+
+// Observation returns the observation index of an assertion key, or -1.
+func (h *HMM) Observation(key string) int {
+	if i, ok := h.Assertions[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// InitialBelief returns a copy of π.
+func (h *HMM) InitialBelief() []float64 {
+	return append([]float64(nil), h.Pi...)
+}
+
+// Filter advances a belief vector one step given the observation index
+// (the filtering approach of Section V). A negative obs applies the
+// transition model only. The returned belief is normalized; if all mass
+// vanishes (impossible observation) the zero vector is returned.
+func (h *HMM) Filter(belief []float64, obs int) []float64 {
+	if len(belief) != h.NumStates() {
+		panic(fmt.Sprintf("hmm: belief has %d entries, model has %d states", len(belief), h.NumStates()))
+	}
+	n := h.NumStates()
+	out := make([]float64, n)
+	for i, bi := range belief {
+		if bi == 0 {
+			continue
+		}
+		row := h.A[i]
+		for j := 0; j < n; j++ {
+			out[j] += bi * row[j]
+		}
+	}
+	if obs >= 0 {
+		for j := 0; j < n; j++ {
+			out[j] *= h.B[j][obs]
+		}
+	}
+	normalize(out)
+	return out
+}
+
+// Predict returns the index of the most probable state in a belief
+// vector, or -1 when the belief is all-zero.
+func (h *HMM) Predict(belief []float64) int {
+	best, bestP := -1, 0.0
+	for i, p := range belief {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// Clone deep-copies the model so the resynchronization procedure can
+// mask transitions without disturbing the trained matrices.
+func (h *HMM) Clone() *HMM {
+	c := &HMM{
+		A:          make([][]float64, len(h.A)),
+		B:          make([][]float64, len(h.B)),
+		Pi:         append([]float64(nil), h.Pi...),
+		Assertions: make(map[string]int, len(h.Assertions)),
+	}
+	for i := range h.A {
+		c.A[i] = append([]float64(nil), h.A[i]...)
+	}
+	for i := range h.B {
+		c.B[i] = append([]float64(nil), h.B[i]...)
+	}
+	for k, v := range h.Assertions {
+		c.Assertions[k] = v
+	}
+	return c
+}
+
+// ZeroTransition implements the resynchronization masking of Section V:
+// after a wrong prediction the probability of reaching the wrong state
+// again is fixed to 0 (the row is re-normalized; a row that loses all
+// mass stays zero, signalling "every successor was wrong").
+func (h *HMM) ZeroTransition(from, to int) {
+	h.A[from][to] = 0
+	normalize(h.A[from])
+}
+
+// Score ranks a candidate successor j of state i under observation obs:
+// A[i][j]·B[j][obs]. With i < 0 the prior π[j] replaces the transition
+// term (initial choice); with obs < 0 the observation term is dropped.
+func (h *HMM) Score(i, j, obs int) float64 {
+	var t float64
+	if i < 0 {
+		t = h.Pi[j]
+	} else {
+		t = h.A[i][j]
+	}
+	if obs >= 0 {
+		t *= h.B[j][obs]
+	}
+	return t
+}
+
+func zeros(n, k int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, k)
+	}
+	return m
+}
+
+func normalize(v []float64) {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+func normalizeRows(m [][]float64) {
+	for i := range m {
+		normalize(m[i])
+	}
+}
+
+// Forward returns the log-likelihood of an observation sequence under the
+// model (the forward algorithm with per-step normalization for numerical
+// stability). It returns -Inf for an impossible sequence.
+func (h *HMM) Forward(obs []int) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	n := h.NumStates()
+	alpha := make([]float64, n)
+	var logL float64
+	for i := 0; i < n; i++ {
+		alpha[i] = h.Pi[i] * h.B[i][obs[0]]
+	}
+	logL += logNormalize(alpha)
+	next := make([]float64, n)
+	for _, o := range obs[1:] {
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				if alpha[i] != 0 {
+					s += alpha[i] * h.A[i][j]
+				}
+			}
+			next[j] = s * h.B[j][o]
+		}
+		alpha, next = next, alpha
+		logL += logNormalize(alpha)
+	}
+	return logL
+}
+
+// Viterbi returns the most likely hidden-state sequence for an
+// observation sequence, or nil when the sequence is impossible under the
+// model. Ties break toward the lower state index.
+func (h *HMM) Viterbi(obs []int) []int {
+	if len(obs) == 0 {
+		return []int{}
+	}
+	n := h.NumStates()
+	delta := make([]float64, n)
+	for i := 0; i < n; i++ {
+		delta[i] = h.Pi[i] * h.B[i][obs[0]]
+	}
+	if logNormalize(delta) == negInf {
+		return nil
+	}
+	back := make([][]int, len(obs))
+	next := make([]float64, n)
+	for t := 1; t < len(obs); t++ {
+		back[t] = make([]int, n)
+		for j := 0; j < n; j++ {
+			best, bestP := -1, 0.0
+			for i := 0; i < n; i++ {
+				if p := delta[i] * h.A[i][j]; p > bestP {
+					best, bestP = i, p
+				}
+			}
+			back[t][j] = best
+			next[j] = bestP * h.B[j][obs[t]]
+		}
+		delta, next = next, delta
+		if logNormalize(delta) == negInf {
+			return nil
+		}
+	}
+	last, lastP := -1, 0.0
+	for i, p := range delta {
+		if p > lastP {
+			last, lastP = i, p
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	path := make([]int, len(obs))
+	path[len(obs)-1] = last
+	for t := len(obs) - 1; t > 0; t-- {
+		path[t-1] = back[t][path[t]]
+	}
+	return path
+}
+
+var negInf = math.Inf(-1)
+
+// logNormalize scales v to sum 1 and returns log of the scaling mass
+// (-Inf when the vector is all-zero, leaving it untouched).
+func logNormalize(v []float64) float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 {
+		return negInf
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return math.Log(sum)
+}
+
+// BaumWelch re-estimates the model's A and B matrices from unlabeled
+// observation sequences (the EM/forward–backward algorithm), leaving π
+// untouched. It is the natural refinement step once a generated PSM set
+// has been deployed: field traces re-weight the transition and
+// observation statistics the join bookkeeping seeded. Iteration stops
+// after maxIter rounds or when the total log-likelihood improves by less
+// than tol. It returns the final log-likelihood.
+//
+// Zero-probability structure is preserved: entries of A and B that are 0
+// stay 0 (EM cannot create mass where the PSM topology has none), so the
+// re-estimated model never invents transitions the mined PSMs lack.
+func (h *HMM) BaumWelch(sequences [][]int, maxIter int, tol float64) float64 {
+	n := h.NumStates()
+	k := h.NumObservations()
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		numA := zeros(n, n)
+		numB := zeros(n, k)
+		denA := make([]float64, n)
+		denB := make([]float64, n)
+		var ll float64
+
+		for _, obs := range sequences {
+			if len(obs) == 0 {
+				continue
+			}
+			T := len(obs)
+			// Scaled forward pass.
+			alpha := zeros(T, n)
+			scale := make([]float64, T)
+			for i := 0; i < n; i++ {
+				alpha[0][i] = h.Pi[i] * h.B[i][obs[0]]
+			}
+			scale[0] = logNormalize(alpha[0])
+			for t := 1; t < T; t++ {
+				for j := 0; j < n; j++ {
+					var s float64
+					for i := 0; i < n; i++ {
+						s += alpha[t-1][i] * h.A[i][j]
+					}
+					alpha[t][j] = s * h.B[j][obs[t]]
+				}
+				scale[t] = logNormalize(alpha[t])
+			}
+			impossible := false
+			for _, s := range scale {
+				if s == negInf {
+					impossible = true
+					break
+				}
+				ll += s
+			}
+			if impossible {
+				continue // sequence outside the model's support
+			}
+			// Scaled backward pass (same per-step normalization).
+			beta := zeros(T, n)
+			for i := 0; i < n; i++ {
+				beta[T-1][i] = 1
+			}
+			for t := T - 2; t >= 0; t-- {
+				for i := 0; i < n; i++ {
+					var s float64
+					for j := 0; j < n; j++ {
+						s += h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+					}
+					beta[t][i] = s
+				}
+				logNormalize(beta[t])
+			}
+			// Accumulate expected counts.
+			for t := 0; t < T; t++ {
+				var gsum float64
+				g := make([]float64, n)
+				for i := 0; i < n; i++ {
+					g[i] = alpha[t][i] * beta[t][i]
+					gsum += g[i]
+				}
+				if gsum == 0 {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					gi := g[i] / gsum
+					numB[i][obs[t]] += gi
+					denB[i] += gi
+					if t < T-1 {
+						denA[i] += gi
+					}
+				}
+				if t < T-1 {
+					var xsum float64
+					xi := zeros(n, n)
+					for i := 0; i < n; i++ {
+						for j := 0; j < n; j++ {
+							xi[i][j] = alpha[t][i] * h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+							xsum += xi[i][j]
+						}
+					}
+					if xsum > 0 {
+						for i := 0; i < n; i++ {
+							for j := 0; j < n; j++ {
+								numA[i][j] += xi[i][j] / xsum
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// M-step. denA was accumulated per state; the ξ counts are already
+		// normalized per step, so re-normalize rows directly.
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				rowSum += numA[i][j]
+			}
+			if rowSum > 0 {
+				for j := 0; j < n; j++ {
+					if h.A[i][j] > 0 {
+						h.A[i][j] = numA[i][j] / rowSum
+					}
+				}
+				normalize(h.A[i])
+			}
+			if denB[i] > 0 {
+				for o := 0; o < k; o++ {
+					if h.B[i][o] > 0 {
+						h.B[i][o] = numB[i][o] / denB[i]
+					}
+				}
+				normalize(h.B[i])
+			}
+		}
+
+		if ll-prevLL < tol && iter > 0 {
+			return ll
+		}
+		prevLL = ll
+	}
+	return prevLL
+}

@@ -1,0 +1,223 @@
+package ip
+
+import (
+	"psmkit/internal/hdl"
+	"psmkit/internal/logic"
+)
+
+// AES phases.
+const (
+	aesIdle uint64 = iota
+	aesBusyEnc
+	aesBusyDec
+)
+
+// AES128 is an iterative AES-128 encryption/decryption core with on-the-fly
+// key expansion: 260 PI bits (key[128] + din[128] + keyload + start + dec +
+// flush) and 129 PO bits (dout[128] + done), matching the shape of the
+// Open Core AES the paper benchmarks.
+//
+// Protocol:
+//
+//	keyload=1  — latch key; a one-shot unrolled key-expansion block also
+//	             derives the last round key (needed to start decryptions),
+//	             causing a visible one-cycle power burst. 1 cycle.
+//	start=1    — begin processing din with the loaded key; dec selects
+//	             decryption. The core runs 10 round cycles; on the last it
+//	             latches dout and pulses done for one cycle.
+//	flush=1    — abort and clear state.
+//
+// The round datapath and the key datapath advance in lock-step every busy
+// cycle, so — as the paper observes for AES — the activity of its
+// subcomponents is strongly correlated and its per-cycle power is nearly
+// constant across data, which keeps the PSM's MRE low.
+type AES128 struct {
+	key0   *hdl.Reg // loaded cipher key (= round key 0)
+	rkLast *hdl.Reg // round key 10, derived at keyload
+	state  *hdl.Reg
+	rkey   *hdl.Reg // current round key
+	rnd    *hdl.Reg // 4-bit round counter
+	phase  *hdl.Reg // 2-bit phase
+	doutR  *hdl.Reg
+	doneR  *hdl.Reg
+
+	// Tracked combinational nets: S-box layer output and the
+	// MixColumns/key-expansion outputs. They model the round logic's
+	// switched capacitance.
+	sboxNet *hdl.Reg
+	mixNet  *hdl.Reg
+	keyNet  *hdl.Reg
+}
+
+// NewAES128 returns an idle AES core with no key loaded.
+func NewAES128() *AES128 {
+	return &AES128{
+		key0:    hdl.NewReg("aes.key0", 128),
+		rkLast:  hdl.NewReg("aes.rk_last", 128),
+		state:   hdl.NewReg("aes.state", 128),
+		rkey:    hdl.NewReg("aes.rkey", 128),
+		rnd:     hdl.NewReg("aes.rnd", 4),
+		phase:   hdl.NewReg("aes.phase", 2),
+		doutR:   hdl.NewReg("aes.dout", 128),
+		doneR:   hdl.NewReg("aes.done", 1),
+		sboxNet: hdl.NewNet("aes.sbox_net", 128),
+		mixNet:  hdl.NewNet("aes.mix_net", 128),
+		keyNet:  hdl.NewNet("aes.key_net", 128),
+	}
+}
+
+// Name implements hdl.Core.
+func (a *AES128) Name() string { return "AES" }
+
+// Ports implements hdl.Core.
+func (a *AES128) Ports() []hdl.PortSpec {
+	return []hdl.PortSpec{
+		{Name: "key", Width: 128, Dir: hdl.In},
+		{Name: "din", Width: 128, Dir: hdl.In},
+		{Name: "keyload", Width: 1, Dir: hdl.In},
+		{Name: "start", Width: 1, Dir: hdl.In},
+		{Name: "dec", Width: 1, Dir: hdl.In},
+		{Name: "flush", Width: 1, Dir: hdl.In},
+		{Name: "dout", Width: 128, Dir: hdl.Out},
+		{Name: "done", Width: 1, Dir: hdl.Out},
+	}
+}
+
+// Reset implements hdl.Core.
+func (a *AES128) Reset() {
+	for _, r := range a.Elements() {
+		r.Reset()
+	}
+}
+
+// Elements implements hdl.Core.
+func (a *AES128) Elements() []*hdl.Reg {
+	return []*hdl.Reg{
+		a.key0, a.rkLast, a.state, a.rkey, a.rnd, a.phase, a.doutR, a.doneR,
+		a.sboxNet, a.mixNet, a.keyNet,
+	}
+}
+
+// Step implements hdl.Core.
+func (a *AES128) Step(in hdl.Values) hdl.Values {
+	phase := a.phase.Get().Uint64()
+	busy := phase != aesIdle
+
+	// Default clock gating: the datapath clocks only while busy.
+	a.state.Gate(!busy)
+	a.rkey.Gate(!busy)
+	a.rnd.Gate(!busy)
+	a.key0.Gate(true)
+	a.rkLast.Gate(true)
+
+	// done is a single-cycle pulse.
+	if a.doneR.Get().Bit(0) == 1 {
+		a.doneR.SetUint64(0)
+	}
+
+	switch {
+	case in["flush"].Bit(0) == 1:
+		a.state.Gate(false)
+		a.state.SetUint64(0)
+		a.doutR.SetUint64(0)
+		a.doneR.SetUint64(0)
+		a.rnd.SetUint64(0)
+		a.phase.SetUint64(aesIdle)
+
+	case !busy && in["keyload"].Bit(0) == 1:
+		a.key0.Gate(false)
+		a.rkLast.Gate(false)
+		a.key0.Set(in["key"])
+		// One-shot unrolled key expansion: ten chained round-key stages
+		// fire combinationally within the cycle.
+		rk := toBlock(in["key"])
+		for r := 1; r <= 10; r++ {
+			rk = aesNextRoundKey(rk, r)
+			a.keyNet.Set(fromBlock(rk)) // successive values glitch the net
+		}
+		a.rkLast.Set(fromBlock(rk))
+
+	case !busy && in["start"].Bit(0) == 1:
+		a.state.Gate(false)
+		a.rkey.Gate(false)
+		a.rnd.Gate(false)
+		st := toBlock(in["din"])
+		if in["dec"].Bit(0) == 1 {
+			rk := toBlock(a.rkLast.Get())
+			st.xor(&rk)
+			a.rkey.Set(a.rkLast.Get())
+			a.phase.SetUint64(aesBusyDec)
+		} else {
+			rk := toBlock(a.key0.Get())
+			st.xor(&rk)
+			a.rkey.Set(a.key0.Get())
+			a.phase.SetUint64(aesBusyEnc)
+		}
+		a.state.Set(fromBlock(st))
+		a.rnd.SetUint64(1)
+
+	case phase == aesBusyEnc:
+		round := int(a.rnd.Get().Uint64())
+		st := toBlock(a.state.Get())
+		rk := aesNextRoundKey(toBlock(a.rkey.Get()), round)
+
+		aesSubBytes(&st)
+		a.sboxNet.Set(fromBlock(st))
+		aesShiftRows(&st)
+		if round < 10 {
+			aesMixColumns(&st)
+		}
+		a.mixNet.Set(fromBlock(st))
+		st.xor(&rk)
+
+		a.rkey.Set(fromBlock(rk))
+		a.keyNet.Set(fromBlock(rk))
+		a.state.Set(fromBlock(st))
+		a.finishRound(round)
+
+	case phase == aesBusyDec:
+		round := int(a.rnd.Get().Uint64())
+		st := toBlock(a.state.Get())
+		// Decryption round r applies round key 10-r, derived on the fly.
+		rk := aesPrevRoundKey(toBlock(a.rkey.Get()), 11-round)
+
+		aesInvShiftRows(&st)
+		aesInvSubBytes(&st)
+		a.sboxNet.Set(fromBlock(st))
+		st.xor(&rk)
+		if round < 10 {
+			aesInvMixColumns(&st)
+		}
+		a.mixNet.Set(fromBlock(st))
+
+		a.rkey.Set(fromBlock(rk))
+		a.keyNet.Set(fromBlock(rk))
+		a.state.Set(fromBlock(st))
+		a.finishRound(round)
+	}
+
+	return hdl.Values{"dout": a.doutR.Get(), "done": a.doneR.Get()}
+}
+
+// finishRound advances the round counter and, on the last round, latches
+// the result and pulses done.
+func (a *AES128) finishRound(round int) {
+	if round == 10 {
+		a.doutR.Set(a.state.Get())
+		a.doneR.SetUint64(1)
+		a.rnd.SetUint64(0)
+		a.phase.SetUint64(aesIdle)
+		return
+	}
+	a.rnd.SetUint64(uint64(round + 1))
+}
+
+func toBlock(v logic.Vector) aesBlock {
+	var b aesBlock
+	copy(b[:], v.Bytes())
+	return b
+}
+
+func fromBlock(b aesBlock) logic.Vector {
+	return logic.FromBytes(128, b[:])
+}

@@ -1,0 +1,171 @@
+package ip
+
+// AES byte-level primitives. The S-box is generated algebraically at init
+// time — multiplicative inverse in GF(2^8) mod x^8+x^4+x^3+x+1 followed by
+// the FIPS-197 affine transform — so there is no hand-typed table to get
+// wrong; functional tests cross-check the full cipher against crypto/aes.
+
+var (
+	aesSbox    [256]byte
+	aesInvSbox [256]byte
+)
+
+func init() {
+	for x := 0; x < 256; x++ {
+		inv := gf256Inv(byte(x))
+		s := inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63
+		aesSbox[x] = s
+		aesInvSbox[s] = byte(x)
+	}
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// gf256Mul multiplies in GF(2^8) modulo the AES polynomial 0x11b.
+func gf256Mul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 == 1 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gf256Inv returns the multiplicative inverse in GF(2^8), with 0 → 0.
+// Computed as a^254 by square-and-multiply.
+func gf256Inv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^254 = a^(2+4+8+16+32+64+128)
+	result := byte(1)
+	sq := a
+	for _, bit := range [8]bool{false, true, true, true, true, true, true, true} {
+		if bit {
+			result = gf256Mul(result, sq)
+		}
+		sq = gf256Mul(sq, sq)
+	}
+	return result
+}
+
+// aesBlock is the 16-byte AES state/round-key in input order: byte i of
+// the block; FIPS state s[r][c] = block[r+4c].
+type aesBlock [16]byte
+
+func (b *aesBlock) xor(o *aesBlock) {
+	for i := range b {
+		b[i] ^= o[i]
+	}
+}
+
+func aesSubBytes(b *aesBlock) {
+	for i := range b {
+		b[i] = aesSbox[b[i]]
+	}
+}
+
+func aesInvSubBytes(b *aesBlock) {
+	for i := range b {
+		b[i] = aesInvSbox[b[i]]
+	}
+}
+
+// aesShiftRows rotates row r left by r positions: out[r+4c] = in[r+4((c+r)%4)].
+func aesShiftRows(b *aesBlock) {
+	var out aesBlock
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			out[r+4*c] = b[r+4*((c+r)%4)]
+		}
+	}
+	*b = out
+}
+
+func aesInvShiftRows(b *aesBlock) {
+	var out aesBlock
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			out[r+4*((c+r)%4)] = b[r+4*c]
+		}
+	}
+	*b = out
+}
+
+func aesMixColumns(b *aesBlock) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := b[4*c], b[4*c+1], b[4*c+2], b[4*c+3]
+		b[4*c] = gf256Mul(a0, 2) ^ gf256Mul(a1, 3) ^ a2 ^ a3
+		b[4*c+1] = a0 ^ gf256Mul(a1, 2) ^ gf256Mul(a2, 3) ^ a3
+		b[4*c+2] = a0 ^ a1 ^ gf256Mul(a2, 2) ^ gf256Mul(a3, 3)
+		b[4*c+3] = gf256Mul(a0, 3) ^ a1 ^ a2 ^ gf256Mul(a3, 2)
+	}
+}
+
+func aesInvMixColumns(b *aesBlock) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := b[4*c], b[4*c+1], b[4*c+2], b[4*c+3]
+		b[4*c] = gf256Mul(a0, 14) ^ gf256Mul(a1, 11) ^ gf256Mul(a2, 13) ^ gf256Mul(a3, 9)
+		b[4*c+1] = gf256Mul(a0, 9) ^ gf256Mul(a1, 14) ^ gf256Mul(a2, 11) ^ gf256Mul(a3, 13)
+		b[4*c+2] = gf256Mul(a0, 13) ^ gf256Mul(a1, 9) ^ gf256Mul(a2, 14) ^ gf256Mul(a3, 11)
+		b[4*c+3] = gf256Mul(a0, 11) ^ gf256Mul(a1, 13) ^ gf256Mul(a2, 9) ^ gf256Mul(a3, 14)
+	}
+}
+
+// aesRcon returns the round constant byte for round r (1-based).
+func aesRcon(r int) byte {
+	c := byte(1)
+	for i := 1; i < r; i++ {
+		c = gf256Mul(c, 2)
+	}
+	return c
+}
+
+// aesNextRoundKey derives round key r from round key r-1 (both in input
+// order: word w = bytes 4w..4w+3).
+func aesNextRoundKey(rk aesBlock, round int) aesBlock {
+	var out aesBlock
+	// temp = SubWord(RotWord(w3)) ^ Rcon
+	var t [4]byte
+	t[0] = aesSbox[rk[13]] ^ aesRcon(round)
+	t[1] = aesSbox[rk[14]]
+	t[2] = aesSbox[rk[15]]
+	t[3] = aesSbox[rk[12]]
+	for i := 0; i < 4; i++ {
+		out[i] = rk[i] ^ t[i]
+	}
+	for w := 1; w < 4; w++ {
+		for i := 0; i < 4; i++ {
+			out[4*w+i] = out[4*(w-1)+i] ^ rk[4*w+i]
+		}
+	}
+	return out
+}
+
+// aesPrevRoundKey inverts aesNextRoundKey: it derives round key r-1 from
+// round key r.
+func aesPrevRoundKey(rk aesBlock, round int) aesBlock {
+	var out aesBlock
+	for w := 3; w >= 1; w-- {
+		for i := 0; i < 4; i++ {
+			out[4*w+i] = rk[4*w+i] ^ rk[4*(w-1)+i]
+		}
+	}
+	// w0 = rk.w0 ^ SubWord(RotWord(out.w3)) ^ Rcon
+	var t [4]byte
+	t[0] = aesSbox[out[13]] ^ aesRcon(round)
+	t[1] = aesSbox[out[14]]
+	t[2] = aesSbox[out[15]]
+	t[3] = aesSbox[out[12]]
+	for i := 0; i < 4; i++ {
+		out[i] = rk[i] ^ t[i]
+	}
+	return out
+}

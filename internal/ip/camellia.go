@@ -1,0 +1,339 @@
+package ip
+
+import (
+	"psmkit/internal/hdl"
+	"psmkit/internal/logic"
+)
+
+// Camellia phases.
+const (
+	camIdle uint64 = iota
+	camBusy
+)
+
+// Camellia128 is an iterative Camellia-128 encryption/decryption core
+// (RFC 3713): 262 PI bits (key[128] + din[128] + keyload + start + dec +
+// flush + hold[2]) and 129 PO bits (dout[128] + done). hold is a pipeline
+// stall control: any nonzero value pauses a block mid-flight with clocks
+// gated.
+//
+// Architecture — and the reason this IP defeats PI/PO-level power
+// modelling, as the paper reports (MRE ≈ 33%): the design is split into
+// two subcomponents whose switching activity is poorly correlated:
+//
+//   - the data path: one Feistel round per cycle (18 rounds plus two
+//     FL/FL⁻¹ layer cycles and a whitening/output cycle);
+//   - the key-schedule unit: an autonomous prefetcher with a four-entry
+//     subkey cache. Every fourth busy cycle it refills the cache by
+//     running its 128-bit barrel rotators over KL and KA — a burst of
+//     switched capacitance that is invisible at the primary inputs and
+//     outputs and unsynchronized with the data the IP processes.
+//
+// From the PI/PO boundary every busy cycle looks identical, so the mined
+// power state covers a bimodal distribution and a constant-μ (or input-
+// Hamming-regressed) estimate is systematically wrong — which is exactly
+// the effect Table II/III of the paper attributes to Camellia.
+type Camellia128 struct {
+	klReg *hdl.Reg // loaded key KL
+	kaReg *hdl.Reg // derived key material KA
+	d1    *hdl.Reg // Feistel left half
+	d2    *hdl.Reg // Feistel right half
+	step  *hdl.Reg // 5-bit sequence counter
+	phase *hdl.Reg // 1-bit phase
+	decR  *hdl.Reg // latched direction for the current block
+	doutR *hdl.Reg
+	doneR *hdl.Reg
+
+	// Tracked combinational nets.
+	fNet   *hdl.Reg // F-function output
+	sbNet  *hdl.Reg // S-box layer output
+	keyNet *hdl.Reg // KA derivation logic (keyload burst)
+	// Key-schedule unit: subkey cache registers and rotator net.
+	cache  [4]*hdl.Reg
+	rotNet *hdl.Reg // barrel-rotator output bus (prefetch burst)
+
+	// Architectural mirror of the subkey schedule (combinational in
+	// hardware, derived from klReg/kaReg; cached here for speed).
+	sched camSubkeys
+	// ksuFetched records whether the key-schedule unit's prefetcher fired
+	// during the last cycle (exposed by the p_ksu_fetch probe).
+	ksuFetched bool
+}
+
+// NewCamellia128 returns an idle Camellia core with no key loaded.
+func NewCamellia128() *Camellia128 {
+	c := &Camellia128{
+		klReg:  hdl.NewReg("cam.kl", 128),
+		kaReg:  hdl.NewReg("cam.ka", 128),
+		d1:     hdl.NewReg("cam.d1", 64),
+		d2:     hdl.NewReg("cam.d2", 64),
+		step:   hdl.NewReg("cam.step", 5),
+		phase:  hdl.NewReg("cam.phase", 1),
+		decR:   hdl.NewReg("cam.dec", 1),
+		doutR:  hdl.NewReg("cam.dout", 128),
+		doneR:  hdl.NewReg("cam.done", 1),
+		fNet:   hdl.NewNet("cam.f_net", 64),
+		sbNet:  hdl.NewNet("cam.sb_net", 64),
+		keyNet: hdl.NewNet("cam.key_net", 128),
+		rotNet: hdl.NewNet("cam.rot_net", 256),
+	}
+	for i := range c.cache {
+		c.cache[i] = hdl.NewReg(camCacheName(i), 64)
+	}
+	return c
+}
+
+func camCacheName(i int) string {
+	return "cam.ksu.cache[" + string(rune('0'+i)) + "]"
+}
+
+// Name implements hdl.Core.
+func (c *Camellia128) Name() string { return "Camellia" }
+
+// Ports implements hdl.Core.
+func (c *Camellia128) Ports() []hdl.PortSpec {
+	return []hdl.PortSpec{
+		{Name: "key", Width: 128, Dir: hdl.In},
+		{Name: "din", Width: 128, Dir: hdl.In},
+		{Name: "keyload", Width: 1, Dir: hdl.In},
+		{Name: "start", Width: 1, Dir: hdl.In},
+		{Name: "dec", Width: 1, Dir: hdl.In},
+		{Name: "flush", Width: 1, Dir: hdl.In},
+		{Name: "hold", Width: 2, Dir: hdl.In},
+		{Name: "dout", Width: 128, Dir: hdl.Out},
+		{Name: "done", Width: 1, Dir: hdl.Out},
+	}
+}
+
+// Reset implements hdl.Core.
+func (c *Camellia128) Reset() {
+	for _, r := range c.Elements() {
+		r.Reset()
+	}
+	c.sched = camSubkeys{}
+	c.ksuFetched = false
+}
+
+// Elements implements hdl.Core.
+func (c *Camellia128) Elements() []*hdl.Reg {
+	return []*hdl.Reg{
+		c.klReg, c.kaReg, c.d1, c.d2, c.step, c.phase, c.decR, c.doutR, c.doneR,
+		c.fNet, c.sbNet, c.keyNet,
+		c.cache[0], c.cache[1], c.cache[2], c.cache[3], c.rotNet,
+	}
+}
+
+// subkeys returns the schedule in the direction latched for the current
+// block.
+func (c *Camellia128) subkeys() camSubkeys {
+	if c.decR.Get().Bit(0) == 1 {
+		return c.sched.reversed()
+	}
+	return c.sched
+}
+
+// Step implements hdl.Core.
+func (c *Camellia128) Step(in hdl.Values) hdl.Values {
+	busy := c.phase.Get().Uint64() == camBusy
+	c.ksuFetched = false
+
+	c.d1.Gate(!busy)
+	c.d2.Gate(!busy)
+	c.step.Gate(!busy)
+	c.klReg.Gate(true)
+	c.kaReg.Gate(true)
+	for _, r := range c.cache {
+		r.Gate(!busy)
+	}
+
+	if c.doneR.Get().Bit(0) == 1 {
+		c.doneR.SetUint64(0)
+	}
+
+	switch {
+	case in["flush"].Bit(0) == 1:
+		c.d1.Gate(false)
+		c.d2.Gate(false)
+		c.d1.SetUint64(0)
+		c.d2.SetUint64(0)
+		c.doutR.SetUint64(0)
+		c.doneR.SetUint64(0)
+		c.step.SetUint64(0)
+		c.phase.SetUint64(camIdle)
+
+	case !busy && in["keyload"].Bit(0) == 1:
+		c.klReg.Gate(false)
+		c.kaReg.Gate(false)
+		kb := in["key"].Bytes()
+		kl := cam128{hi: be64(kb[:8]), lo: be64(kb[8:])}
+		ka := camKA(kl)
+		c.klReg.Set(in["key"])
+		c.kaReg.Set(from128(ka))
+		// The KA derivation block (four chained F stages) fires once.
+		c.keyNet.Set(from128(cam128{hi: kl.hi ^ ka.hi, lo: kl.lo ^ ka.lo}))
+		c.keyNet.Set(from128(ka))
+		c.sched = camExpand128(kl)
+
+	case !busy && in["start"].Bit(0) == 1:
+		c.d1.Gate(false)
+		c.d2.Gate(false)
+		c.step.Gate(false)
+		c.decR.Gate(false)
+		c.decR.Set(in["dec"])
+		// Direction must be read from the input this cycle (decR latches
+		// concurrently).
+		sk := c.sched
+		if in["dec"].Bit(0) == 1 {
+			sk = c.sched.reversed()
+		}
+		db := in["din"].Bytes()
+		c.d1.SetUint64(be64(db[:8]) ^ sk.kw[0])
+		c.d2.SetUint64(be64(db[8:]) ^ sk.kw[1])
+		c.step.SetUint64(1)
+		c.phase.SetUint64(camBusy)
+
+	case busy && in["hold"].Uint64() != 0:
+		// Pipeline stall: the block sequence pauses. The registers hold
+		// their values (no data activity) but the clock tree keeps
+		// running — hold is a sequencer freeze, not a clock gate.
+
+	case busy:
+		c.busyCycle()
+	}
+
+	return hdl.Values{"dout": c.doutR.Get(), "done": c.doneR.Get()}
+}
+
+// busyCycle advances the 22-cycle block sequence:
+//
+//	steps 1..6   rounds 1..6
+//	step  7      FL / FL⁻¹ layer 1
+//	steps 8..13  rounds 7..12
+//	step 14      FL / FL⁻¹ layer 2
+//	steps 15..20 rounds 13..18
+//	step 21      output whitening, done pulse
+func (c *Camellia128) busyCycle() {
+	sk := c.subkeys()
+	step := c.step.Get().Uint64()
+
+	// Key-schedule unit: on steps ≡ 1 (mod 4) the prefetcher refills its
+	// four-entry subkey cache, spinning the 128-bit barrel rotators over
+	// KL and KA. This is the burst activity that is invisible — and
+	// unpredictable — from the PI/PO boundary.
+	if step%4 == 1 {
+		c.ksuFetched = true
+		base := int(step) - 1
+		burst := logic.New(256)
+		for i := 0; i < 4; i++ {
+			idx := base + i
+			var v uint64
+			if idx < 18 {
+				v = sk.k[idx]
+			} else {
+				v = sk.kw[2+(idx-18)%2] // tail of the schedule: output whitening keys
+			}
+			c.cache[i].Set(logic.FromUint64(64, v))
+			burst = burst.Shl(64).Or(logic.FromUint64(256, v))
+		}
+		// The barrel rotators sweep through intermediate rotation stages
+		// before settling; the glitching roughly doubles the net's
+		// switched capacitance on every prefetch.
+		c.rotNet.Set(burst.Not())
+		c.rotNet.Set(burst)
+	}
+
+	switch {
+	case step == 7:
+		c.d1.SetUint64(camFL(c.d1.Get().Uint64(), sk.ke[0]))
+		c.d2.SetUint64(camFLInv(c.d2.Get().Uint64(), sk.ke[1]))
+		c.step.SetUint64(step + 1)
+
+	case step == 14:
+		c.d1.SetUint64(camFL(c.d1.Get().Uint64(), sk.ke[2]))
+		c.d2.SetUint64(camFLInv(c.d2.Get().Uint64(), sk.ke[3]))
+		c.step.SetUint64(step + 1)
+
+	case step == 21:
+		hi := c.d2.Get().Uint64() ^ sk.kw[2]
+		lo := c.d1.Get().Uint64() ^ sk.kw[3]
+		c.doutR.Set(from128(cam128{hi: hi, lo: lo}))
+		c.doneR.SetUint64(1)
+		c.step.SetUint64(0)
+		c.phase.SetUint64(camIdle)
+
+	default:
+		// Feistel round. Round index (0-based) from the step number.
+		round := int(step) - 1
+		switch {
+		case step >= 15:
+			round = int(step) - 3
+		case step >= 8:
+			round = int(step) - 2
+		}
+		d1, d2 := c.d1.Get().Uint64(), c.d2.Get().Uint64()
+		if round%2 == 0 {
+			f := camF(d1, sk.k[round])
+			c.sbNet.SetUint64(d1 ^ sk.k[round])
+			c.fNet.SetUint64(f)
+			c.d2.SetUint64(d2 ^ f)
+		} else {
+			f := camF(d2, sk.k[round])
+			c.sbNet.SetUint64(d2 ^ sk.k[round])
+			c.fNet.SetUint64(f)
+			c.d1.SetUint64(d1 ^ f)
+		}
+		c.step.SetUint64(step + 1)
+	}
+}
+
+// Probes implements hdl.Probed: the internal subcomponent-boundary
+// signals the hierarchical PSM extension observes — the sequencer's step
+// counter (data-path control) and the key-schedule unit's prefetch
+// strobe. These are exactly the signals a designer would tap to
+// characterize the two poorly-correlated subcomponents separately.
+func (c *Camellia128) Probes() []hdl.PortSpec {
+	return []hdl.PortSpec{
+		{Name: "p_step", Width: 5, Dir: hdl.Out},
+		{Name: "p_ksu_fetch", Width: 1, Dir: hdl.Out},
+	}
+}
+
+// ProbeValues implements hdl.Probed.
+func (c *Camellia128) ProbeValues() hdl.Values {
+	fetch := uint64(0)
+	if c.ksuFetched {
+		fetch = 1
+	}
+	return hdl.Values{
+		"p_step":      c.step.Get(),
+		"p_ksu_fetch": logic.FromUint64(1, fetch),
+	}
+}
+
+func be64(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+func from128(c cam128) logic.Vector {
+	return logic.FromUint64(128, c.lo).Or(logic.FromUint64(128, c.hi).Shl(64))
+}
+
+// SubcomponentOf classifies a Camellia element name into the design's two
+// subcomponents — "ksu" (the autonomous key-schedule unit: KL/KA storage,
+// the KA derivation logic, the subkey cache and the barrel-rotator net)
+// and "data" (the Feistel data path and control) — for the hierarchical
+// PSM extension.
+func (c *Camellia128) SubcomponentOf(element string) string {
+	switch element {
+	case "cam.kl", "cam.ka", "cam.key_net", "cam.rot_net":
+		return "ksu"
+	}
+	if len(element) > 8 && element[:8] == "cam.ksu." {
+		return "ksu"
+	}
+	return "data"
+}

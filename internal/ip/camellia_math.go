@@ -1,0 +1,214 @@
+package ip
+
+import "math/bits"
+
+// Camellia-128 primitives per RFC 3713.
+
+// camSbox1 is Camellia's SBOX1 (RFC 3713 appendix); SBOX2..4 are derived
+// from it in init, as the RFC specifies:
+//
+//	SBOX2[x] = SBOX1[x] <<< 1
+//	SBOX3[x] = SBOX1[x] <<< 7
+//	SBOX4[x] = SBOX1[x <<< 1]
+var camSbox1 = [256]byte{
+	0x70, 0x82, 0x2c, 0xec, 0xb3, 0x27, 0xc0, 0xe5, 0xe4, 0x85, 0x57, 0x35, 0xea, 0x0c, 0xae, 0x41,
+	0x23, 0xef, 0x6b, 0x93, 0x45, 0x19, 0xa5, 0x21, 0xed, 0x0e, 0x4f, 0x4e, 0x1d, 0x65, 0x92, 0xbd,
+	0x86, 0xb8, 0xaf, 0x8f, 0x7c, 0xeb, 0x1f, 0xce, 0x3e, 0x30, 0xdc, 0x5f, 0x5e, 0xc5, 0x0b, 0x1a,
+	0xa6, 0xe1, 0x39, 0xca, 0xd5, 0x47, 0x5d, 0x3d, 0xd9, 0x01, 0x5a, 0xd6, 0x51, 0x56, 0x6c, 0x4d,
+	0x8b, 0x0d, 0x9a, 0x66, 0xfb, 0xcc, 0xb0, 0x2d, 0x74, 0x12, 0x2b, 0x20, 0xf0, 0xb1, 0x84, 0x99,
+	0xdf, 0x4c, 0xcb, 0xc2, 0x34, 0x7e, 0x76, 0x05, 0x6d, 0xb7, 0xa9, 0x31, 0xd1, 0x17, 0x04, 0xd7,
+	0x14, 0x58, 0x3a, 0x61, 0xde, 0x1b, 0x11, 0x1c, 0x32, 0x0f, 0x9c, 0x16, 0x53, 0x18, 0xf2, 0x22,
+	0xfe, 0x44, 0xcf, 0xb2, 0xc3, 0xb5, 0x7a, 0x91, 0x24, 0x08, 0xe8, 0xa8, 0x60, 0xfc, 0x69, 0x50,
+	0xaa, 0xd0, 0xa0, 0x7d, 0xa1, 0x89, 0x62, 0x97, 0x54, 0x5b, 0x1e, 0x95, 0xe0, 0xff, 0x64, 0xd2,
+	0x10, 0xc4, 0x00, 0x48, 0xa3, 0xf7, 0x75, 0xdb, 0x8a, 0x03, 0xe6, 0xda, 0x09, 0x3f, 0xdd, 0x94,
+	0x87, 0x5c, 0x83, 0x02, 0xcd, 0x4a, 0x90, 0x33, 0x73, 0x67, 0xf6, 0xf3, 0x9d, 0x7f, 0xbf, 0xe2,
+	0x52, 0x9b, 0xd8, 0x26, 0xc8, 0x37, 0xc6, 0x3b, 0x81, 0x96, 0x6f, 0x4b, 0x13, 0xbe, 0x63, 0x2e,
+	0xe9, 0x79, 0xa7, 0x8c, 0x9f, 0x6e, 0xbc, 0x8e, 0x29, 0xf5, 0xf9, 0xb6, 0x2f, 0xfd, 0xb4, 0x59,
+	0x78, 0x98, 0x06, 0x6a, 0xe7, 0x46, 0x71, 0xba, 0xd4, 0x25, 0xab, 0x42, 0x88, 0xa2, 0x8d, 0xfa,
+	0x72, 0x07, 0xb9, 0x55, 0xf8, 0xee, 0xac, 0x0a, 0x36, 0x49, 0x2a, 0x68, 0x3c, 0x38, 0xf1, 0xa4,
+	0x40, 0x28, 0xd3, 0x7b, 0xbb, 0xc9, 0x43, 0xc1, 0x15, 0xe3, 0xad, 0xf4, 0x77, 0xc7, 0x80, 0x9e,
+}
+
+var camSbox2, camSbox3, camSbox4 [256]byte
+
+func init() {
+	for x := 0; x < 256; x++ {
+		camSbox2[x] = rotl8(camSbox1[x], 1)
+		camSbox3[x] = rotl8(camSbox1[x], 7)
+		camSbox4[x] = camSbox1[rotl8(byte(x), 1)]
+	}
+}
+
+// Key-schedule constants Σ1..Σ6 (RFC 3713 §2.2); a 128-bit key only needs
+// the first four.
+const (
+	camSigma1 = 0xA09E667F3BCC908B
+	camSigma2 = 0xB67AE8584CAA73B2
+	camSigma3 = 0xC6EF372FE94F82BE
+	camSigma4 = 0x54FF53A5F1D36F1C
+	camSigma5 = 0x10E527FADE682D1D
+	camSigma6 = 0xB05688C2B3E6C1FD
+)
+
+// camF is Camellia's round function F(x, k): key addition, the four
+// S-boxes, and the byte-diffusion P-layer.
+func camF(x, k uint64) uint64 {
+	x ^= k
+	t1 := camSbox1[byte(x>>56)]
+	t2 := camSbox2[byte(x>>48)]
+	t3 := camSbox3[byte(x>>40)]
+	t4 := camSbox4[byte(x>>32)]
+	t5 := camSbox2[byte(x>>24)]
+	t6 := camSbox3[byte(x>>16)]
+	t7 := camSbox4[byte(x>>8)]
+	t8 := camSbox1[byte(x)]
+
+	y1 := t1 ^ t3 ^ t4 ^ t6 ^ t7 ^ t8
+	y2 := t1 ^ t2 ^ t4 ^ t5 ^ t7 ^ t8
+	y3 := t1 ^ t2 ^ t3 ^ t5 ^ t6 ^ t8
+	y4 := t2 ^ t3 ^ t4 ^ t5 ^ t6 ^ t7
+	y5 := t1 ^ t2 ^ t6 ^ t7 ^ t8
+	y6 := t2 ^ t3 ^ t5 ^ t7 ^ t8
+	y7 := t3 ^ t4 ^ t5 ^ t6 ^ t8
+	y8 := t1 ^ t4 ^ t5 ^ t6 ^ t7
+
+	return uint64(y1)<<56 | uint64(y2)<<48 | uint64(y3)<<40 | uint64(y4)<<32 |
+		uint64(y5)<<24 | uint64(y6)<<16 | uint64(y7)<<8 | uint64(y8)
+}
+
+// camFL is the FL function (RFC 3713 §2.4.3).
+func camFL(x, k uint64) uint64 {
+	xl, xr := uint32(x>>32), uint32(x)
+	kl, kr := uint32(k>>32), uint32(k)
+	xr ^= bits.RotateLeft32(xl&kl, 1)
+	xl ^= xr | kr
+	return uint64(xl)<<32 | uint64(xr)
+}
+
+// camFLInv is the FL⁻¹ function.
+func camFLInv(y, k uint64) uint64 {
+	yl, yr := uint32(y>>32), uint32(y)
+	kl, kr := uint32(k>>32), uint32(k)
+	yl ^= yr | kr
+	yr ^= bits.RotateLeft32(yl&kl, 1)
+	return uint64(yl)<<32 | uint64(yr)
+}
+
+// cam128 is a 128-bit quantity as a pair of 64-bit halves (hi = bits
+// 127..64).
+type cam128 struct{ hi, lo uint64 }
+
+// rotl rotates a 128-bit value left by n (0 <= n < 128).
+func (c cam128) rotl(n uint) cam128 {
+	if n == 0 {
+		return c
+	}
+	if n < 64 {
+		return cam128{
+			hi: c.hi<<n | c.lo>>(64-n),
+			lo: c.lo<<n | c.hi>>(64-n),
+		}
+	}
+	if n == 64 {
+		return cam128{hi: c.lo, lo: c.hi}
+	}
+	n -= 64
+	return cam128{
+		hi: c.lo<<n | c.hi>>(64-n),
+		lo: c.hi<<n | c.lo>>(64-n),
+	}
+}
+
+// camKA derives the KA key material from KL (128-bit key case, KR = 0),
+// RFC 3713 §2.2.
+func camKA(kl cam128) cam128 {
+	d1, d2 := kl.hi, kl.lo
+	d2 ^= camF(d1, camSigma1)
+	d1 ^= camF(d2, camSigma2)
+	d1 ^= kl.hi
+	d2 ^= kl.lo
+	d2 ^= camF(d1, camSigma3)
+	d1 ^= camF(d2, camSigma4)
+	return cam128{hi: d1, lo: d2}
+}
+
+// camSubkeys holds the 26 subkeys of Camellia-128 in order of use during
+// encryption: kw1,kw2, k1..k6, ke1,ke2, k7..k12, ke3,ke4, k13..k18,
+// kw3,kw4.
+type camSubkeys struct {
+	kw [4]uint64  // whitening
+	k  [18]uint64 // round subkeys
+	ke [4]uint64  // FL-layer subkeys
+}
+
+// camExpand128 computes the Camellia-128 subkey set (RFC 3713 §2.2).
+func camExpand128(kl cam128) camSubkeys {
+	ka := camKA(kl)
+	var s camSubkeys
+	s.kw[0] = kl.hi
+	s.kw[1] = kl.lo
+	s.k[0] = ka.hi
+	s.k[1] = ka.lo
+	r := kl.rotl(15)
+	s.k[2], s.k[3] = r.hi, r.lo
+	r = ka.rotl(15)
+	s.k[4], s.k[5] = r.hi, r.lo
+	r = ka.rotl(30)
+	s.ke[0], s.ke[1] = r.hi, r.lo
+	r = kl.rotl(45)
+	s.k[6], s.k[7] = r.hi, r.lo
+	r = ka.rotl(45)
+	s.k[8] = r.hi
+	r = kl.rotl(60)
+	s.k[9] = r.lo
+	r = ka.rotl(60)
+	s.k[10], s.k[11] = r.hi, r.lo
+	r = kl.rotl(77)
+	s.ke[2], s.ke[3] = r.hi, r.lo
+	r = kl.rotl(94)
+	s.k[12], s.k[13] = r.hi, r.lo
+	r = ka.rotl(94)
+	s.k[14], s.k[15] = r.hi, r.lo
+	r = kl.rotl(111)
+	s.k[16], s.k[17] = r.hi, r.lo
+	r = ka.rotl(111)
+	s.kw[2], s.kw[3] = r.hi, r.lo
+	return s
+}
+
+// reversed returns the subkey set for decryption: the same algorithm with
+// the subkey order reversed (kw1↔kw3, kw2↔kw4, k_i↔k_{19-i}, ke_i↔ke_{5-i}).
+func (s camSubkeys) reversed() camSubkeys {
+	var r camSubkeys
+	r.kw[0], r.kw[1], r.kw[2], r.kw[3] = s.kw[2], s.kw[3], s.kw[0], s.kw[1]
+	for i := 0; i < 18; i++ {
+		r.k[i] = s.k[17-i]
+	}
+	r.ke[0], r.ke[1], r.ke[2], r.ke[3] = s.ke[3], s.ke[2], s.ke[1], s.ke[0]
+	return r
+}
+
+// camEncryptBlock runs the full 18-round Camellia-128 block operation with
+// the given subkey set (use reversed() subkeys to decrypt). It is the
+// reference implementation the cycle-accurate core is tested against, and
+// is also used by the testbench to pre-compute expected ciphertexts.
+func camEncryptBlock(s camSubkeys, hi, lo uint64) (uint64, uint64) {
+	d1 := hi ^ s.kw[0]
+	d2 := lo ^ s.kw[1]
+	for i := 0; i < 18; i++ {
+		if i == 6 {
+			d1 = camFL(d1, s.ke[0])
+			d2 = camFLInv(d2, s.ke[1])
+		}
+		if i == 12 {
+			d1 = camFL(d1, s.ke[2])
+			d2 = camFLInv(d2, s.ke[3])
+		}
+		if i%2 == 0 {
+			d2 ^= camF(d1, s.k[i])
+		} else {
+			d1 ^= camF(d2, s.k[i])
+		}
+	}
+	return d2 ^ s.kw[2], d1 ^ s.kw[3]
+}

@@ -1,0 +1,20 @@
+// Package ip contains cycle-accurate RTL models of the four benchmark IPs
+// the paper evaluates on (Table I):
+//
+//   - RAM — a 1 KB single-port memory (Open Core Library style),
+//   - MultSum — a pipelined multiplier-accumulator (Synopsys DesignWare
+//     DW02-style MAC),
+//   - AES128 — an iterative AES-128 encryption/decryption core,
+//   - Camellia128 — an iterative Camellia-128 encryption/decryption core
+//     (RFC 3713) with an autonomous burst-mode key-schedule unit.
+//
+// Each model implements hdl.Core: it is bit-accurate at its primary inputs
+// and outputs and advances one clock cycle per Step. All architectural
+// state lives in hdl.Reg elements so the power estimator can observe
+// switching activity and clock gating, exactly like a gate-level netlist
+// exposes it to a power simulator.
+//
+// The two ciphers are functionally verified: AES against the standard
+// library's crypto/aes and the FIPS-197 example vector, Camellia against
+// the RFC 3713 test vector.
+package ip

@@ -1,0 +1,107 @@
+package ip
+
+import (
+	"fmt"
+
+	"psmkit/internal/hdl"
+	"psmkit/internal/logic"
+)
+
+// MultSum is a 16×16+16 multiplier-accumulator in the style of the
+// Synopsys DesignWare DW02 MAC the paper benchmarks: 49 PI bits
+// (a[16] + b[16] + c[16] + en) and 32 PO bits (sum).
+//
+// The multiplier array is combinational with registered operands and a
+// registered result: when en is high the operand registers, the four
+// radix-16 partial-product registers and the output register all update
+// in the same cycle, so the power of a cycle tracks that cycle's operand
+// activity. The clock tree is free-running (no gating), giving the design
+// the non-zero idle floor a real DesignWare macro exhibits.
+//
+// The IP is data-dependent: partial-product switching follows the operand
+// values, which correlates with — but is not a pure function of — the
+// primary-input Hamming distance. That residual is why the paper reports
+// a MultSum MRE a notch above the RAM's even after linear-regression
+// calibration (the correlation would need a wider time window).
+type MultSum struct {
+	ra, rb, rc *hdl.Reg
+	pp         [4]*hdl.Reg
+	busy       *hdl.Reg
+	out        *hdl.Reg
+}
+
+// NewMultSum returns an idle MAC.
+func NewMultSum() *MultSum {
+	m := &MultSum{
+		ra:   hdl.NewReg("mac.ra", 16),
+		rb:   hdl.NewReg("mac.rb", 16),
+		rc:   hdl.NewReg("mac.rc", 16),
+		busy: hdl.NewReg("mac.busy", 1),
+		out:  hdl.NewReg("mac.sum", 32),
+	}
+	for i := range m.pp {
+		m.pp[i] = hdl.NewReg(fmt.Sprintf("mac.pp[%d]", i), 32)
+	}
+	return m
+}
+
+// Name implements hdl.Core.
+func (m *MultSum) Name() string { return "MultSum" }
+
+// Ports implements hdl.Core.
+func (m *MultSum) Ports() []hdl.PortSpec {
+	return []hdl.PortSpec{
+		{Name: "a", Width: 16, Dir: hdl.In},
+		{Name: "b", Width: 16, Dir: hdl.In},
+		{Name: "c", Width: 16, Dir: hdl.In},
+		{Name: "en", Width: 1, Dir: hdl.In},
+		{Name: "sum", Width: 32, Dir: hdl.Out},
+	}
+}
+
+// Reset implements hdl.Core.
+func (m *MultSum) Reset() {
+	for _, r := range m.Elements() {
+		r.Reset()
+	}
+}
+
+// Elements implements hdl.Core.
+func (m *MultSum) Elements() []*hdl.Reg {
+	return []*hdl.Reg{
+		m.ra, m.rb, m.rc,
+		m.pp[0], m.pp[1], m.pp[2], m.pp[3],
+		m.busy, m.out,
+	}
+}
+
+// Step implements hdl.Core.
+func (m *MultSum) Step(in hdl.Values) hdl.Values {
+	en := in["en"].Bit(0) == 1
+	if en {
+		a := in["a"].Uint64()
+		b := in["b"].Uint64()
+		c := in["c"].Uint64()
+		m.ra.Set(in["a"])
+		m.rb.Set(in["b"])
+		m.rc.Set(in["c"])
+		// Radix-16 multiplier: one partial product per 4-bit digit of b.
+		var acc uint64
+		for i := 0; i < 4; i++ {
+			digit := (b >> (4 * i)) & 0xf
+			p := (a * digit) << (4 * i)
+			m.pp[i].Set(logic.FromUint64(32, p))
+			acc += p
+		}
+		m.out.Set(logic.FromUint64(32, (acc+c)&0xffffffff))
+	}
+	m.busy.SetUint64(boolBit(en))
+	return hdl.Values{"sum": m.out.Get()}
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,385 @@
+package logic
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroValued(t *testing.T) {
+	for _, w := range []int{0, 1, 7, 63, 64, 65, 128, 130, 256} {
+		v := New(w)
+		if v.Width() != w {
+			t.Errorf("New(%d).Width() = %d", w, v.Width())
+		}
+		if !v.IsZero() {
+			t.Errorf("New(%d) not zero", w)
+		}
+		if v.OnesCount() != 0 {
+			t.Errorf("New(%d).OnesCount() = %d", w, v.OnesCount())
+		}
+	}
+}
+
+func TestNewNegativeWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromUint64Truncates(t *testing.T) {
+	v := FromUint64(4, 0xff)
+	if got := v.Uint64(); got != 0xf {
+		t.Errorf("FromUint64(4, 0xff) = %#x, want 0xf", got)
+	}
+	v = FromUint64(64, 0xdeadbeefcafebabe)
+	if got := v.Uint64(); got != 0xdeadbeefcafebabe {
+		t.Errorf("round-trip = %#x", got)
+	}
+}
+
+func TestBitAndSetBit(t *testing.T) {
+	v := FromUint64(8, 0b10100101)
+	wantBits := []uint{1, 0, 1, 0, 0, 1, 0, 1}
+	for i, want := range wantBits {
+		if got := v.Bit(i); got != want {
+			t.Errorf("Bit(%d) = %d, want %d", i, got, want)
+		}
+	}
+	v2 := v.SetBit(1, 1).SetBit(0, 0)
+	if got := v2.Uint64(); got != 0b10100110 {
+		t.Errorf("after SetBit = %#b", got)
+	}
+	// original untouched (value semantics)
+	if got := v.Uint64(); got != 0b10100101 {
+		t.Errorf("receiver mutated: %#b", got)
+	}
+}
+
+func TestBitOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit(8) on width-8 vector did not panic")
+		}
+	}()
+	FromUint64(8, 0).Bit(8)
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	in := []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef,
+		0xfe, 0xdc, 0xba, 0x98, 0x76, 0x54, 0x32, 0x10}
+	v := FromBytes(128, in)
+	out := v.Bytes()
+	if len(out) != 16 {
+		t.Fatalf("Bytes len = %d", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("byte %d: %#x != %#x", i, in[i], out[i])
+		}
+	}
+}
+
+func TestParseHex(t *testing.T) {
+	cases := []struct {
+		width int
+		in    string
+		want  uint64
+	}{
+		{8, "3a", 0x3a},
+		{8, "0x3A", 0x3a},
+		{16, "be_ef", 0xbeef},
+		{4, "f", 0xf},
+		{64, "deadbeefcafebabe", 0xdeadbeefcafebabe},
+	}
+	for _, c := range cases {
+		v, err := ParseHex(c.width, c.in)
+		if err != nil {
+			t.Errorf("ParseHex(%d, %q): %v", c.width, c.in, err)
+			continue
+		}
+		if v.Uint64() != c.want {
+			t.Errorf("ParseHex(%d, %q) = %#x, want %#x", c.width, c.in, v.Uint64(), c.want)
+		}
+	}
+	if _, err := ParseHex(8, "zz"); err == nil {
+		t.Error("ParseHex accepted invalid digits")
+	}
+	if _, err := ParseHex(8, ""); err == nil {
+		t.Error("ParseHex accepted empty literal")
+	}
+}
+
+func TestParseHexWide(t *testing.T) {
+	v := MustParseHex(128, "000102030405060708090a0b0c0d0e0f")
+	b := v.Bytes()
+	for i := 0; i < 16; i++ {
+		if b[i] != byte(i) {
+			t.Fatalf("byte %d = %#x", i, b[i])
+		}
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a := FromUint64(128, 5)
+	b := FromUint64(128, 7)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Error("Cmp small values wrong")
+	}
+	hi := MustParseHex(128, "10000000000000000") // 2^64
+	if hi.Cmp(b) != 1 || b.Cmp(hi) != -1 {
+		t.Error("Cmp across word boundary wrong")
+	}
+	// differing widths, same value
+	if FromUint64(8, 9).Cmp(FromUint64(32, 9)) != 0 {
+		t.Error("Cmp should ignore width for equal values")
+	}
+}
+
+func TestArith64(t *testing.T) {
+	for i := 0; i < 500; i++ {
+		a, b := rand.Uint64(), rand.Uint64()
+		va, vb := FromUint64(64, a), FromUint64(64, b)
+		if got := va.Add(vb).Uint64(); got != a+b {
+			t.Fatalf("Add: %#x + %#x = %#x, want %#x", a, b, got, a+b)
+		}
+		if got := va.Sub(vb).Uint64(); got != a-b {
+			t.Fatalf("Sub: got %#x want %#x", got, a-b)
+		}
+		if got := va.Xor(vb).Uint64(); got != a^b {
+			t.Fatalf("Xor mismatch")
+		}
+		if got := va.And(vb).Uint64(); got != a&b {
+			t.Fatalf("And mismatch")
+		}
+		if got := va.Or(vb).Uint64(); got != a|b {
+			t.Fatalf("Or mismatch")
+		}
+		if got := va.Not().Uint64(); got != ^a {
+			t.Fatalf("Not mismatch")
+		}
+	}
+}
+
+func TestAddCarryAcrossWords(t *testing.T) {
+	a := MustParseHex(128, "ffffffffffffffff") // 2^64-1
+	one := FromUint64(128, 1)
+	sum := a.Add(one)
+	want := MustParseHex(128, "10000000000000000")
+	if !sum.Equal(want) {
+		t.Errorf("carry: got %s want %s", sum, want)
+	}
+	// wrap-around at full width
+	all := New(128).Not()
+	if got := all.Add(one); !got.IsZero() {
+		t.Errorf("2^128-1 + 1 = %s, want 0", got)
+	}
+}
+
+func TestMulUint64(t *testing.T) {
+	a := FromUint64(64, 0x1234)
+	if got := a.MulUint64(3).Uint64(); got != 0x1234*3 {
+		t.Errorf("MulUint64 = %#x", got)
+	}
+	// cross-word carry: (2^64-1) * 2 in 128 bits = 2^65 - 2
+	b := MustParseHex(128, "ffffffffffffffff")
+	want := MustParseHex(128, "1fffffffffffffffe")
+	if got := b.MulUint64(2); !got.Equal(want) {
+		t.Errorf("MulUint64 wide: got %s want %s", got, want)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	v := FromUint64(128, 1)
+	if got := v.Shl(100).Shr(100); !got.Equal(v) {
+		t.Errorf("Shl/Shr round trip failed: %s", got)
+	}
+	if got := v.Shl(127).Bit(127); got != 1 {
+		t.Errorf("Shl(127) top bit = %d", got)
+	}
+	if got := v.Shl(128); !got.IsZero() {
+		t.Errorf("Shl(width) should be zero, got %s", got)
+	}
+	w := FromUint64(8, 0b1001_0110)
+	if got := w.Shr(4).Uint64(); got != 0b1001 {
+		t.Errorf("Shr(4) = %#b", got)
+	}
+}
+
+func TestRotL(t *testing.T) {
+	v := FromUint64(8, 0b1000_0001)
+	if got := v.RotL(1).Uint64(); got != 0b0000_0011 {
+		t.Errorf("RotL(1) = %#b", got)
+	}
+	if got := v.RotL(8); !got.Equal(v) {
+		t.Errorf("RotL(width) != identity")
+	}
+	if got := v.RotL(-1).Uint64(); got != 0b1100_0000 {
+		t.Errorf("RotL(-1) = %#b", got)
+	}
+	// 128-bit rotate used by Camellia's key schedule
+	x := MustParseHex(128, "80000000000000000000000000000001")
+	want := MustParseHex(128, "00000000000000000000000000000003")
+	if got := x.RotL(1); !got.Equal(want) {
+		t.Errorf("wide RotL: got %s want %s", got, want)
+	}
+}
+
+func TestSliceConcat(t *testing.T) {
+	v := MustParseHex(32, "cafebabe")
+	if got := v.Slice(31, 16).Uint64(); got != 0xcafe {
+		t.Errorf("Slice hi = %#x", got)
+	}
+	if got := v.Slice(15, 0).Uint64(); got != 0xbabe {
+		t.Errorf("Slice lo = %#x", got)
+	}
+	if got := v.Slice(7, 4).Uint64(); got != 0xb {
+		t.Errorf("Slice nibble = %#x", got)
+	}
+	re := v.Slice(31, 16).Concat(v.Slice(15, 0))
+	if !re.Equal(v) {
+		t.Errorf("Concat(Slice, Slice) != original: %s", re)
+	}
+	if re.Width() != 32 {
+		t.Errorf("Concat width = %d", re.Width())
+	}
+}
+
+func TestSliceBadRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad Slice did not panic")
+		}
+	}()
+	FromUint64(8, 0).Slice(8, 0)
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := FromUint64(16, 0b1111_0000_1010_0101)
+	b := FromUint64(16, 0b1111_0000_0101_1010)
+	if got := a.HammingDistance(b); got != 8 {
+		t.Errorf("HD = %d, want 8", got)
+	}
+	if got := a.HammingDistance(a); got != 0 {
+		t.Errorf("HD(self) = %d", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	FromUint64(8, 1).Xor(FromUint64(9, 1))
+}
+
+func TestString(t *testing.T) {
+	if got := FromUint64(8, 0x3a).String(); got != "8'h3a" {
+		t.Errorf("String = %q", got)
+	}
+	if got := FromUint64(1, 1).String(); got != "1'h1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(0).String(); got != "0'h0" {
+		t.Errorf("String = %q", got)
+	}
+	if got := FromUint64(12, 0).String(); got != "12'h0" {
+		t.Errorf("String of zero = %q", got)
+	}
+	if got := FromUint64(16, 0xbe).Hex(); got != "00be" {
+		t.Errorf("Hex = %q", got)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// qv adapts a pair of uint64 into width-64 vectors for quick checks.
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(a, b uint64) bool {
+		va, vb := FromUint64(64, a), FromUint64(64, b)
+		return va.Add(vb).Equal(vb.Add(va))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubInvertsAdd(t *testing.T) {
+	f := func(a, b uint64) bool {
+		va, vb := FromUint64(64, a), FromUint64(64, b)
+		return va.Add(vb).Sub(vb).Equal(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickXorInvolution(t *testing.T) {
+	f := func(a, b uint64, wRaw uint8) bool {
+		w := int(wRaw%100) + 1
+		va, vb := FromUint64(w, a), FromUint64(w, b)
+		return va.Xor(vb).Xor(vb).Equal(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHammingIsXorPopcount(t *testing.T) {
+	f := func(a, b uint64) bool {
+		va, vb := FromUint64(64, a), FromUint64(64, b)
+		return va.HammingDistance(vb) == bits.OnesCount64(a^b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHammingTriangle(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		va, vb, vc := FromUint64(64, a), FromUint64(64, b), FromUint64(64, c)
+		return va.HammingDistance(vc) <= va.HammingDistance(vb)+vb.HammingDistance(vc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRotLPreservesOnes(t *testing.T) {
+	f := func(a uint64, n uint8) bool {
+		v := FromUint64(64, a)
+		return v.RotL(int(n)).OnesCount() == v.OnesCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHexRoundTrip(t *testing.T) {
+	f := func(a uint64, wRaw uint8) bool {
+		w := int(wRaw%128) + 1
+		v := FromUint64(w, a)
+		r, err := ParseHex(w, v.Hex())
+		return err == nil && r.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConcatSliceInverse(t *testing.T) {
+	f := func(a, b uint64, wa, wb uint8) bool {
+		w1, w2 := int(wa%64)+1, int(wb%64)+1
+		va, vb := FromUint64(w1, a), FromUint64(w2, b)
+		c := va.Concat(vb)
+		return c.Slice(w1+w2-1, w2).Equal(va) && c.Slice(w2-1, 0).Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,302 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+
+	"psmkit/internal/logic"
+	"psmkit/internal/trace"
+)
+
+// fig3Trace builds the functional trace of the paper's Fig. 3:
+//
+//	t : v1    v2    v3 v4
+//	0 : true  false 3  1
+//	1 : true  false 3  1
+//	2 : true  false 3  1
+//	3 : false true  3  3
+//	4 : false true  4  4
+//	5 : false true  2  2
+//	6 : true  true  0  0
+//	7 : true  true  3  1
+func fig3Trace() *trace.Functional {
+	f := trace.NewFunctional([]trace.Signal{
+		{Name: "v1", Width: 1}, {Name: "v2", Width: 1},
+		{Name: "v3", Width: 4}, {Name: "v4", Width: 4},
+	})
+	rows := [][4]uint64{
+		{1, 0, 3, 1}, {1, 0, 3, 1}, {1, 0, 3, 1},
+		{0, 1, 3, 3}, {0, 1, 4, 4}, {0, 1, 2, 2},
+		{1, 1, 0, 0}, {1, 1, 3, 1},
+	}
+	for _, r := range rows {
+		f.Append([]logic.Vector{
+			logic.FromUint64(1, r[0]), logic.FromUint64(1, r[1]),
+			logic.FromUint64(4, r[2]), logic.FromUint64(4, r[3]),
+		})
+	}
+	return f
+}
+
+func fig3Config() Config {
+	// Fig. 3 is an 8-instant illustration; relax the stability filter so
+	// the comparison atoms survive on such a short trace.
+	return Config{MinSupport: 0.1, MinRunLength: 2}
+}
+
+// TestFig3PropositionTrace is the golden reproduction of the paper's
+// Fig. 3: the mined proposition trace must partition the instants as
+// p_a p_a p_a p_b p_b p_b p_c p_d.
+func TestFig3PropositionTrace(t *testing.T) {
+	d, pts, err := Mine([]*trace.Functional{fig3Trace()}, fig3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	ids := pt.IDs
+	if len(ids) != 8 {
+		t.Fatalf("proposition trace length %d", len(ids))
+	}
+	pa, pb, pc, pd := ids[0], ids[3], ids[6], ids[7]
+	wantPattern := []int{pa, pa, pa, pb, pb, pb, pc, pd}
+	for i, want := range wantPattern {
+		if ids[i] != want {
+			t.Errorf("instant %d: proposition %d, want %d", i, ids[i], want)
+		}
+	}
+	distinct := map[int]bool{pa: true, pb: true, pc: true, pd: true}
+	if len(distinct) != 4 {
+		t.Errorf("expected 4 distinct propositions, got %d (%v)", len(distinct), ids)
+	}
+
+	// p_a must be the paper's v1=true & v2=false & v3>v4.
+	s := d.PropString(pa)
+	for _, atom := range []string{"v1=true", "v2=false", "v3>v4"} {
+		if !strings.Contains(s, atom) {
+			t.Errorf("p_a = %q missing %q", s, atom)
+		}
+	}
+	// p_b: v1=false & v2=true & v3=v4.
+	s = d.PropString(pb)
+	for _, atom := range []string{"v1=false", "v2=true", "v3=v4"} {
+		if !strings.Contains(s, atom) {
+			t.Errorf("p_b = %q missing %q", s, atom)
+		}
+	}
+	// p_d: v1=true & v2=true & v3>v4.
+	s = d.PropString(pd)
+	for _, atom := range []string{"v1=true", "v2=true", "v3>v4"} {
+		if !strings.Contains(s, atom) {
+			t.Errorf("p_d = %q missing %q", s, atom)
+		}
+	}
+}
+
+func TestExactlyOnePropositionPerInstant(t *testing.T) {
+	// By construction every training instant maps to exactly one
+	// proposition; re-evaluating the rows must reproduce the trace.
+	ft := fig3Trace()
+	d, pts, err := Mine([]*trace.Functional{ft}, fig3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < ft.Len(); tt++ {
+		if got := d.EvalRow(ft.Row(tt)); got != pts[0].IDs[tt] {
+			t.Errorf("instant %d: EvalRow = %d, trace has %d", tt, got, pts[0].IDs[tt])
+		}
+	}
+}
+
+func TestEvalRowUnknown(t *testing.T) {
+	d, _, err := Mine([]*trace.Functional{fig3Trace()}, fig3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1=false & v2=false never occurs in training.
+	row := []logic.Vector{
+		logic.FromUint64(1, 0), logic.FromUint64(1, 0),
+		logic.FromUint64(4, 1), logic.FromUint64(4, 2),
+	}
+	if got := d.EvalRow(row); got != Unknown {
+		t.Errorf("unseen valuation mapped to proposition %d", got)
+	}
+	if d.PropString(Unknown) != "<unknown>" {
+		t.Error("Unknown should render as <unknown>")
+	}
+}
+
+func TestStabilityFilterDropsFlickeringAtoms(t *testing.T) {
+	// A wide signal that alternates every instant produces comparison
+	// atoms with run length ~1; they must be dropped while the stable
+	// control bit survives.
+	f := trace.NewFunctional([]trace.Signal{
+		{Name: "mode", Width: 1}, {Name: "d0", Width: 8}, {Name: "d1", Width: 8},
+	})
+	for i := 0; i < 100; i++ {
+		var a, b uint64 = 10, 20
+		if i%2 == 1 {
+			a, b = 20, 10
+		}
+		mode := uint64(0)
+		if i >= 50 {
+			mode = 1
+		}
+		f.Append([]logic.Vector{
+			logic.FromUint64(1, mode), logic.FromUint64(8, a), logic.FromUint64(8, b),
+		})
+	}
+	d, _, err := Mine([]*trace.Functional{f}, Config{MinSupport: 0.05, MinRunLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range d.Atoms {
+		if a.Kind == AtomLT || a.Kind == AtomGT {
+			t.Errorf("flickering atom %s survived", a.String(d.Signals))
+		}
+	}
+	// mode polarity atoms survive
+	foundMode := false
+	for _, a := range d.Atoms {
+		if a.Kind == AtomTrue && d.Signals[a.A].Name == "mode" {
+			foundMode = true
+		}
+	}
+	if !foundMode {
+		t.Error("mode=true atom was dropped")
+	}
+	if d.NumProps() != 2 {
+		t.Errorf("NumProps = %d, want 2 (mode on/off)", d.NumProps())
+	}
+}
+
+func TestSupportFilter(t *testing.T) {
+	// A wide atom that holds on a tiny fraction of instants is dropped.
+	f := trace.NewFunctional([]trace.Signal{{Name: "x", Width: 8}})
+	for i := 0; i < 1000; i++ {
+		v := uint64(5)
+		if i == 500 {
+			v = 0 // x=0 holds exactly once
+		}
+		f.Append([]logic.Vector{logic.FromUint64(8, v)})
+	}
+	d, _, err := Mine([]*trace.Functional{f}, Config{MinSupport: 0.05, MinRunLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range d.Atoms {
+		if a.Kind == AtomZero {
+			t.Error("rare x=0 atom survived the support filter")
+		}
+	}
+}
+
+func TestNeverTrueAtomsDropped(t *testing.T) {
+	f := trace.NewFunctional([]trace.Signal{{Name: "x", Width: 1}})
+	for i := 0; i < 10; i++ {
+		f.Append([]logic.Vector{logic.FromUint64(1, 1)})
+	}
+	d, _, err := Mine([]*trace.Functional{f}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range d.Atoms {
+		if a.Kind == AtomFalse {
+			t.Error("x=false never holds but survived")
+		}
+	}
+}
+
+func TestMineMultipleTracesShareDictionary(t *testing.T) {
+	f1 := fig3Trace()
+	f2 := fig3Trace()
+	d, pts, err := Mine([]*trace.Functional{f1, f2}, fig3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d proposition traces", len(pts))
+	}
+	for i := range pts[0].IDs {
+		if pts[0].IDs[i] != pts[1].IDs[i] {
+			t.Errorf("identical traces mapped differently at %d", i)
+		}
+	}
+	if d.NumProps() != 4 {
+		t.Errorf("NumProps = %d", d.NumProps())
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	if _, _, err := Mine(nil, DefaultConfig()); err == nil {
+		t.Error("empty trace set accepted")
+	}
+	a := fig3Trace()
+	b := trace.NewFunctional([]trace.Signal{{Name: "z", Width: 1}})
+	b.Append([]logic.Vector{logic.FromUint64(1, 0)})
+	if _, _, err := Mine([]*trace.Functional{a, b}, DefaultConfig()); err == nil {
+		t.Error("mismatched schemas accepted")
+	}
+	empty := trace.NewFunctional([]trace.Signal{{Name: "z", Width: 1}})
+	if _, _, err := Mine([]*trace.Functional{empty}, DefaultConfig()); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestAtomEvalKinds(t *testing.T) {
+	row := []logic.Vector{
+		logic.FromUint64(1, 1),
+		logic.FromUint64(8, 0),
+		logic.FromUint64(8, 7),
+		logic.FromUint64(8, 7),
+	}
+	cases := []struct {
+		atom Atom
+		want bool
+	}{
+		{Atom{Kind: AtomTrue, A: 0}, true},
+		{Atom{Kind: AtomFalse, A: 0}, false},
+		{Atom{Kind: AtomZero, A: 1}, true},
+		{Atom{Kind: AtomNonZero, A: 1}, false},
+		{Atom{Kind: AtomLT, A: 1, B: 2}, true},
+		{Atom{Kind: AtomEQ, A: 2, B: 3}, true},
+		{Atom{Kind: AtomGT, A: 2, B: 1}, true},
+		{Atom{Kind: AtomGT, A: 1, B: 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.atom.Eval(row); got != c.want {
+			t.Errorf("%+v.Eval = %v", c.atom, got)
+		}
+	}
+}
+
+func TestAtomStrings(t *testing.T) {
+	sigs := []trace.Signal{{Name: "a", Width: 1}, {Name: "x", Width: 8}, {Name: "y", Width: 8}}
+	cases := map[string]Atom{
+		"a=true":  {Kind: AtomTrue, A: 0},
+		"a=false": {Kind: AtomFalse, A: 0},
+		"x=0":     {Kind: AtomZero, A: 1},
+		"x!=0":    {Kind: AtomNonZero, A: 1},
+		"x<y":     {Kind: AtomLT, A: 1, B: 2},
+		"x=y":     {Kind: AtomEQ, A: 1, B: 2},
+		"x>y":     {Kind: AtomGT, A: 1, B: 2},
+	}
+	for want, atom := range cases {
+		if got := atom.String(sigs); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEmptyConjunctionRendersTrue(t *testing.T) {
+	// Craft a dictionary where some instant satisfies no kept atom: a
+	// constant-false-polarity signal... easiest is a direct call.
+	d := &Dictionary{
+		Signals: []trace.Signal{{Name: "a", Width: 1}},
+		Atoms:   []Atom{{Kind: AtomTrue, A: 0}},
+		index:   map[uint64]int{},
+	}
+	id := d.intern(0)
+	if got := d.PropString(id); got != "true" {
+		t.Errorf("empty conjunction = %q", got)
+	}
+}

@@ -1,0 +1,300 @@
+// Package power is psmkit's stand-in for a gate-level power simulator
+// (Synopsys PrimeTime PX in the paper). It produces the *reference dynamic
+// power traces* the PSM flow calibrates against.
+//
+// The model follows the paper's Definition 2: the dynamic energy consumed
+// at simulation instant t is
+//
+//	δ(t) = ½ · V²dd · f · C · α(t)
+//
+// where α(t) is the design's switching activity. The estimator charges,
+// per cycle:
+//
+//   - data power: every bit toggle of every registered state element and
+//     tracked net, weighted by a per-element cell capacitance;
+//   - clock power: the clock pin of every memory element whose clock is
+//     not gated this cycle;
+//   - I/O power: toggles on the primary input/output boundary nets.
+//
+// Cell capacitances are "synthesized" at elaboration time: each element
+// gets a deterministic per-instance drive-strength factor derived from its
+// name, mimicking the cell-sizing spread of a synthesized netlist. A small
+// deterministic measurement jitter is added per cycle so reference traces
+// exhibit the σ > 0 that real gate-level power reports show.
+//
+// Like its real counterpart, the estimator walks every element of the
+// design every cycle — which is exactly why it is one to two orders of
+// magnitude slower than plain functional simulation, and why the paper's
+// PSMs are worth generating.
+package power
+
+import (
+	"strings"
+	"time"
+
+	"psmkit/internal/hdl"
+	"psmkit/internal/logic"
+)
+
+// Config holds the electrical parameters of the power model.
+type Config struct {
+	// VDD is the supply voltage in volts.
+	VDD float64
+	// ClockHz is the clock frequency in hertz.
+	ClockHz float64
+	// DataCapF is the nominal switched capacitance per data bit toggle, in
+	// farads.
+	DataCapF float64
+	// ClockCapF is the clock-pin capacitance per memory-element bit, in
+	// farads, charged every un-gated cycle.
+	ClockCapF float64
+	// IOCapF is the boundary-net capacitance per PI/PO bit toggle, in
+	// farads.
+	IOCapF float64
+	// NoiseAmp is the relative amplitude of the deterministic measurement
+	// jitter (0.01 = ±1%).
+	NoiseAmp float64
+	// Seed selects the jitter stream.
+	Seed uint64
+}
+
+// DefaultConfig returns the parameters used throughout the paper
+// reproduction: a 50 MHz, 1.1 V operating point with ~fF-scale cells.
+func DefaultConfig() Config {
+	return Config{
+		VDD:       1.1,
+		ClockHz:   50e6,
+		DataCapF:  1.8e-15,
+		ClockCapF: 0.9e-15,
+		IOCapF:    3.5e-15,
+		NoiseAmp:  0.005,
+		Seed:      0x9e3779b97f4a7c15,
+	}
+}
+
+// Estimator computes per-cycle dynamic power for one core. Create it with
+// NewEstimator after the core is constructed, attach it to the simulation
+// via Observer (or call CyclePower manually after every Step), and read
+// the accumulated trace from Trace.
+type Estimator struct {
+	cfg   Config
+	core  hdl.Core
+	elems []*hdl.Reg
+	// dataCap[i] is the per-toggle capacitance of elems[i]; clockCap[i] is
+	// its total clock-pin capacitance (0 for nets).
+	dataCap  []float64
+	clockCap []float64
+	ioCap    float64
+	scale    float64 // ½·V²·f
+
+	prevIn  map[string]logic.Vector
+	prevOut map[string]logic.Vector
+
+	rng      uint64
+	trace    []float64
+	elabTime time.Duration
+
+	// Per-subcomponent accounting (hierarchical PSM extension): when a
+	// classifier is installed, every element belongs to a group and the
+	// estimator additionally records one power trace per group. Boundary
+	// I/O power goes to the reserved group "io".
+	groupOf     []int
+	groupNames  []string
+	groupTraces [][]float64
+	ioGroup     int
+	groupAccum  []float64
+}
+
+// IOGroup is the reserved subcomponent name for boundary I/O power when a
+// classifier is installed.
+const IOGroup = "io"
+
+// NewEstimator elaborates the power model of a core: it enumerates the
+// design's state elements and assigns per-instance cell capacitances.
+// This is psmkit's analogue of the gate-level synthesis step that Table I
+// of the paper reports as "Syn. time".
+func NewEstimator(core hdl.Core, cfg Config) *Estimator {
+	start := time.Now()
+	e := &Estimator{
+		cfg:   cfg,
+		core:  core,
+		elems: core.Elements(),
+		ioCap: cfg.IOCapF,
+		scale: 0.5 * cfg.VDD * cfg.VDD * cfg.ClockHz,
+		rng:   cfg.Seed ^ hashName(core.Name()),
+	}
+	e.dataCap = make([]float64, len(e.elems))
+	e.clockCap = make([]float64, len(e.elems))
+	for i, r := range e.elems {
+		// Deterministic per-instance drive-strength spread in [0.8, 1.2],
+		// like the cell sizing a synthesis tool would pick. Array
+		// elements (names differing only in their index) share one
+		// factor: the slices of a memory array or register file are
+		// physically identical cells.
+		f := 0.8 + 0.4*unit(hashName(baseName(r.Name())))
+		e.dataCap[i] = cfg.DataCapF * f
+		if r.IsMemory() {
+			e.clockCap[i] = cfg.ClockCapF * f * float64(r.Width())
+		}
+	}
+	e.elabTime = time.Since(start)
+	return e
+}
+
+// ElaborationTime returns how long the power-model build took.
+func (e *Estimator) ElaborationTime() time.Duration { return e.elabTime }
+
+// Classify installs a subcomponent classifier: every element name maps to
+// a group, and the estimator records a separate power trace per group on
+// top of the total. Must be called before the first cycle. Boundary I/O
+// power is booked under the reserved group IOGroup.
+func (e *Estimator) Classify(groupFor func(elementName string) string) {
+	index := map[string]int{}
+	intern := func(name string) int {
+		if i, ok := index[name]; ok {
+			return i
+		}
+		index[name] = len(e.groupNames)
+		e.groupNames = append(e.groupNames, name)
+		return len(e.groupNames) - 1
+	}
+	e.groupOf = make([]int, len(e.elems))
+	for i, r := range e.elems {
+		e.groupOf[i] = intern(groupFor(r.Name()))
+	}
+	e.ioGroup = intern(IOGroup)
+	e.groupTraces = make([][]float64, len(e.groupNames))
+	e.groupAccum = make([]float64, len(e.groupNames))
+}
+
+// Groups returns the group names (empty without a classifier).
+func (e *Estimator) Groups() []string { return e.groupNames }
+
+// GroupTrace returns the recorded power trace of a group, or nil.
+func (e *Estimator) GroupTrace(name string) []float64 {
+	for i, n := range e.groupNames {
+		if n == name {
+			return e.groupTraces[i]
+		}
+	}
+	return nil
+}
+
+// Reset clears the boundary history, the jitter stream and the recorded
+// trace.
+func (e *Estimator) Reset() {
+	e.prevIn, e.prevOut = nil, nil
+	e.rng = e.cfg.Seed ^ hashName(e.core.Name())
+	e.trace = nil
+	for i := range e.groupTraces {
+		e.groupTraces[i] = nil
+	}
+	for i := range e.groupAccum {
+		e.groupAccum[i] = 0
+	}
+}
+
+// CyclePower returns the dynamic power (in watts) consumed during the
+// cycle that just executed, given its boundary valuations. It must be
+// called exactly once per Step, in order.
+func (e *Estimator) CyclePower(in, out hdl.Values) float64 {
+	var c float64
+	grouped := e.groupOf != nil
+	// Data and clock power over every element of the design. Walking the
+	// full element list per cycle is the defining cost of gate-level power
+	// estimation.
+	for i, r := range e.elems {
+		var ec float64
+		if t := r.TakeToggles(); t != 0 {
+			ec += float64(t) * e.dataCap[i]
+		}
+		if !r.Gated() {
+			ec += e.clockCap[i]
+		}
+		c += ec
+		if grouped {
+			e.groupAccum[e.groupOf[i]] += ec
+		}
+	}
+	// Boundary I/O power.
+	io := float64(boundaryToggles(e.prevIn, in)) * e.ioCap
+	io += float64(boundaryToggles(e.prevOut, out)) * e.ioCap
+	c += io
+	if grouped {
+		e.groupAccum[e.ioGroup] += io
+	}
+	e.prevIn, e.prevOut = in.Clone(), out.Clone()
+
+	// Deterministic measurement jitter, applied uniformly so the group
+	// traces always sum to the total.
+	jitter := 1.0
+	if e.cfg.NoiseAmp > 0 {
+		e.rng = xorshift(e.rng)
+		jitter = 1 + e.cfg.NoiseAmp*(2*unit(e.rng)-1)
+	}
+	if grouped {
+		for g := range e.groupAccum {
+			e.groupTraces[g] = append(e.groupTraces[g], e.scale*e.groupAccum[g]*jitter)
+			e.groupAccum[g] = 0
+		}
+	}
+	return e.scale * c * jitter
+}
+
+// Observer returns an hdl.Observer that computes the cycle power after
+// every Step and appends it to the estimator's trace.
+func (e *Estimator) Observer() hdl.Observer {
+	return func(_ int, in, out hdl.Values) {
+		e.trace = append(e.trace, e.CyclePower(in, out))
+	}
+}
+
+// Trace returns the power values recorded so far (watts per cycle).
+func (e *Estimator) Trace() []float64 { return e.trace }
+
+func boundaryToggles(prev map[string]logic.Vector, cur hdl.Values) int {
+	if prev == nil {
+		return 0
+	}
+	n := 0
+	for name, v := range cur {
+		if p, ok := prev[name]; ok {
+			n += p.HammingDistance(v)
+		}
+	}
+	return n
+}
+
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	if x == 0 {
+		return 0x2545f4914f6cdd1d
+	}
+	return x
+}
+
+// unit maps a 64-bit state to [0, 1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// baseName strips a trailing "[index]" so array slices share an identity.
+func baseName(s string) string {
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func hashName(s string) uint64 {
+	// FNV-1a
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

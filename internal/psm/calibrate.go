@@ -1,0 +1,88 @@
+package psm
+
+import (
+	"psmkit/internal/stats"
+	"psmkit/internal/trace"
+)
+
+// CalibrationPolicy controls the data-dependent state calibration of
+// Section IV.
+type CalibrationPolicy struct {
+	// MaxCV is the "too high standard deviation" gate: states whose
+	// coefficient of variation σ/μ exceeds it are candidates for the
+	// Hamming-distance regression.
+	MaxCV float64
+	// MinR is the "strong linear correlation" gate: the regression
+	// replaces the constant mean only when |Pearson r| between the per-
+	// instant input Hamming distance and the power is at least MinR.
+	MinR float64
+}
+
+// DefaultCalibrationPolicy returns the thresholds used in the
+// reproduction.
+func DefaultCalibrationPolicy() CalibrationPolicy {
+	return CalibrationPolicy{MaxCV: 0.15, MinR: 0.7}
+}
+
+// Calibrate applies the linear-regression refinement to the model's
+// data-dependent states. For every state whose power spread is too high
+// it collects, over all supporting intervals, the pairs
+//
+//	x = Hamming distance between the primary-input valuations at t and t-1
+//	y = reference power at t
+//
+// and, when the correlation is strong, replaces the state's constant μ
+// with the fitted line.
+//
+// fts and pws are the training functional and power traces (indexed as in
+// the states' Intervals); inputCols are the functional-trace columns of
+// the primary inputs. It returns the number of states calibrated.
+func Calibrate(m *Model, fts []*trace.Functional, pws []*trace.Power, inputCols []int, policy CalibrationPolicy) int {
+	// Per-trace input Hamming distances, computed lazily.
+	hdCache := make([][]float64, len(fts))
+	hd := func(ti int) []float64 {
+		if hdCache[ti] == nil {
+			hdCache[ti] = fts[ti].InputHammingDistance(inputCols)
+		}
+		return hdCache[ti]
+	}
+
+	calibrated := 0
+	for _, s := range m.States {
+		if s.Power.N < 3 || s.Power.CoefficientOfVariation() <= policy.MaxCV {
+			continue
+		}
+		var xs, ys []float64
+		for _, iv := range s.Intervals {
+			if iv.Trace < 0 || iv.Trace >= len(fts) {
+				continue
+			}
+			dists := hd(iv.Trace)
+			pw := pws[iv.Trace].Values
+			for t := iv.Start; t <= iv.Stop && t < len(dists) && t < len(pw); t++ {
+				xs = append(xs, dists[t])
+				ys = append(ys, pw[t])
+			}
+		}
+		if len(xs) < 3 {
+			continue
+		}
+		fit, err := stats.LinearRegression(xs, ys)
+		if err != nil {
+			continue
+		}
+		if abs(fit.R) >= policy.MinR {
+			f := fit
+			s.Fit = &f
+			calibrated++
+		}
+	}
+	return calibrated
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

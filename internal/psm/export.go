@@ -1,0 +1,111 @@
+package psm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the model as a Graphviz digraph: states labelled with
+// their assertions and power attributes, edges with their enabling
+// propositions.
+func (m *Model) WriteDOT(w io.Writer, name string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n", name)
+	for _, s := range m.States {
+		var alts []string
+		for _, a := range s.Alts {
+			alts = append(alts, a.Seq.String(m.Dict))
+		}
+		shape := ""
+		if m.Initials[s.ID] > 0 {
+			shape = ", peripheries=2"
+		}
+		fit := ""
+		if s.Fit != nil {
+			fit = fmt.Sprintf("\\npower = %.3e + %.3e*HD (r=%.2f)", s.Fit.Intercept, s.Fit.Slope, s.Fit.R)
+		}
+		fmt.Fprintf(&sb, "  s%d [label=\"s%d: %s\\nμ=%.3e σ=%.3e n=%d%s\"%s];\n",
+			s.ID, s.ID, strings.Join(alts, " || "), s.Power.Mean(), s.Power.StdDev(), s.Power.N, fit, shape)
+	}
+	for _, t := range m.Transitions {
+		fmt.Fprintf(&sb, "  s%d -> s%d [label=\"%s (x%d)\"];\n",
+			t.From, t.To, m.Dict.PropString(t.Enabling), t.Count)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// jsonModel is the serialized form of a Model.
+type jsonModel struct {
+	States      []jsonState      `json:"states"`
+	Transitions []jsonTransition `json:"transitions"`
+	Initials    map[string]int   `json:"initials"`
+}
+
+type jsonState struct {
+	ID         int      `json:"id"`
+	Assertions []string `json:"assertions"`
+	Mu         float64  `json:"mu"`
+	Sigma      float64  `json:"sigma"`
+	N          int      `json:"n"`
+	Fit        *jsonFit `json:"fit,omitempty"`
+	Intervals  [][3]int `json:"intervals"`
+}
+
+type jsonFit struct {
+	Slope     float64 `json:"slope"`
+	Intercept float64 `json:"intercept"`
+	R         float64 `json:"r"`
+}
+
+type jsonTransition struct {
+	From     int    `json:"from"`
+	To       int    `json:"to"`
+	Enabling string `json:"enabling"`
+	Count    int    `json:"count"`
+}
+
+// WriteJSON serializes a human-readable summary of the model (state
+// assertions rendered as text; intended for reports and inspection, not
+// for lossless round-tripping).
+func (m *Model) WriteJSON(w io.Writer) error {
+	jm := jsonModel{Initials: map[string]int{}}
+	for _, s := range m.States {
+		js := jsonState{
+			ID:    s.ID,
+			Mu:    s.Power.Mean(),
+			Sigma: s.Power.StdDev(),
+			N:     s.Power.N,
+		}
+		for _, a := range s.Alts {
+			js.Assertions = append(js.Assertions, a.Seq.String(m.Dict))
+		}
+		for _, iv := range s.Intervals {
+			js.Intervals = append(js.Intervals, [3]int{iv.Trace, iv.Start, iv.Stop})
+		}
+		if s.Fit != nil {
+			js.Fit = &jsonFit{Slope: s.Fit.Slope, Intercept: s.Fit.Intercept, R: s.Fit.R}
+		}
+		jm.States = append(jm.States, js)
+	}
+	for _, t := range m.Transitions {
+		jm.Transitions = append(jm.Transitions, jsonTransition{
+			From: t.From, To: t.To, Enabling: m.Dict.PropString(t.Enabling), Count: t.Count,
+		})
+	}
+	ids := make([]int, 0, len(m.Initials))
+	for id := range m.Initials {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		jm.Initials[fmt.Sprintf("s%d", id)] = m.Initials[id]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jm)
+}

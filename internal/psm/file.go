@@ -1,0 +1,79 @@
+package psm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"psmkit/internal/mining"
+	"psmkit/internal/stats"
+)
+
+// fileMagic guards against loading unrelated gob streams.
+const fileMagic = "psmkit-model-v1"
+
+// fileModel is the on-disk representation of a Model (gob-encoded, with
+// the mined dictionary embedded so a saved model is self-contained).
+type fileModel struct {
+	Magic       string
+	Dict        mining.Snapshot
+	States      []fileState
+	Transitions []Transition
+	Initials    map[int]int
+}
+
+type fileState struct {
+	Alts      []Alt
+	Power     stats.Moments
+	Intervals []Interval
+	Fit       *stats.LinearFit
+}
+
+// Save serializes a model (states, transitions, initial distribution and
+// the mined proposition dictionary) for later simulation by cmd/psmsim.
+func Save(w io.Writer, m *Model) error {
+	fm := fileModel{
+		Magic:       fileMagic,
+		Dict:        m.Dict.Snapshot(),
+		Transitions: m.Transitions,
+		Initials:    m.Initials,
+	}
+	for _, s := range m.States {
+		fm.States = append(fm.States, fileState{
+			Alts:      s.Alts,
+			Power:     s.Power,
+			Intervals: s.Intervals,
+			Fit:       s.Fit,
+		})
+	}
+	return gob.NewEncoder(w).Encode(fm)
+}
+
+// Load reads a model produced by Save.
+func Load(r io.Reader) (*Model, error) {
+	var fm fileModel
+	if err := gob.NewDecoder(r).Decode(&fm); err != nil {
+		return nil, fmt.Errorf("psm: decoding model: %w", err)
+	}
+	if fm.Magic != fileMagic {
+		return nil, fmt.Errorf("psm: not a psmkit model file (magic %q)", fm.Magic)
+	}
+	m := &Model{
+		Dict:        mining.FromSnapshot(fm.Dict),
+		Transitions: fm.Transitions,
+		Initials:    fm.Initials,
+	}
+	if m.Initials == nil {
+		m.Initials = map[int]int{}
+	}
+	for i, fs := range fm.States {
+		m.States = append(m.States, &State{
+			ID:        i,
+			Alts:      fs.Alts,
+			Power:     fs.Power,
+			Intervals: fs.Intervals,
+			Fit:       fs.Fit,
+		})
+	}
+	return m, nil
+}

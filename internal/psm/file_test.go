@@ -1,0 +1,100 @@
+package psm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"psmkit/internal/stats"
+)
+
+var fitForTest = stats.LinearFit{Slope: 2.5, Intercept: 0.25, R: 0.91}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dict, pt, pw := fig3(t)
+	c, err := Generate(dict, pt, pw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Join([]*Chain{Simplify(c, DefaultMergePolicy())}, DefaultMergePolicy())
+
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.NumStates() != m.NumStates() || got.NumTransitions() != m.NumTransitions() {
+		t.Fatalf("shape: %d/%d vs %d/%d",
+			got.NumStates(), got.NumTransitions(), m.NumStates(), m.NumTransitions())
+	}
+	for i, s := range m.States {
+		gs := got.States[i]
+		if gs.Power != s.Power {
+			t.Errorf("state %d power attributes differ", i)
+		}
+		if len(gs.Alts) != len(s.Alts) {
+			t.Fatalf("state %d alts differ", i)
+		}
+		for a := range s.Alts {
+			if gs.Alts[a].Seq.Key() != s.Alts[a].Seq.Key() || gs.Alts[a].Count != s.Alts[a].Count {
+				t.Errorf("state %d alt %d differs", i, a)
+			}
+		}
+		if len(gs.Intervals) != len(s.Intervals) {
+			t.Errorf("state %d intervals differ", i)
+		}
+	}
+	for i, tr := range m.Transitions {
+		if got.Transitions[i] != tr {
+			t.Errorf("transition %d differs", i)
+		}
+	}
+	for id, n := range m.Initials {
+		if got.Initials[id] != n {
+			t.Errorf("initials[%d] differ", id)
+		}
+	}
+	// The embedded dictionary survives: propositions render identically.
+	for p := 0; p < dict.NumProps(); p++ {
+		if got.Dict.PropString(p) != m.Dict.PropString(p) {
+			t.Errorf("proposition %d renders differently", p)
+		}
+	}
+}
+
+func TestSaveLoadPreservesCalibration(t *testing.T) {
+	dict, pt, pw := fig3(t)
+	c, _ := Generate(dict, pt, pw, 0)
+	m := Join([]*Chain{c}, DefaultMergePolicy())
+	// Attach a synthetic fit to exercise the optional field.
+	m.States[0].Fit = &fitForTest
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.States[0].Fit == nil || *got.States[0].Fit != fitForTest {
+		t.Error("fit lost in round trip")
+	}
+	for _, s := range got.States[1:] {
+		if s.Fit != nil {
+			t.Error("spurious fit appeared")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package psm
+
+import (
+	"fmt"
+
+	"psmkit/internal/mining"
+	"psmkit/internal/stats"
+	"psmkit/internal/trace"
+)
+
+// xuState is the current state of the XU automaton of Fig. 5.
+type xuState int
+
+const (
+	xuX xuState = iota
+	xuU
+)
+
+// assertion is the triplet ⟨p, start, stop⟩ returned by XU_getAssertion:
+// proposition prop holds over [start, stop] and is followed by the
+// proposition next (the enabling function of the outgoing transition), or
+// next < 0 at end of trace.
+type assertion struct {
+	prop        int
+	start, stop int
+	next        int
+	kind        PatternKind
+}
+
+// xuScanner walks a proposition trace with the two-element FIFO of the
+// PSMGenerator procedure, recognizing until (run length ≥ 2) and next
+// (run length 1) temporal patterns.
+type xuScanner struct {
+	pt  *mining.PropTrace
+	pos int // index of f[0]
+	st  xuState
+}
+
+func newXUScanner(pt *mining.PropTrace) *xuScanner {
+	return &xuScanner{pt: pt, st: xuX}
+}
+
+// next returns the next recognized assertion, or ok=false when the trace
+// is exhausted (the run at the end of the trace has no successor and is
+// dropped, like the example of Fig. 5 drops the final p_d).
+func (s *xuScanner) next() (assertion, bool) {
+	ids := s.pt.IDs
+	if s.pos >= len(ids)-1 {
+		return assertion{}, false
+	}
+	start := s.pos
+	p := ids[s.pos]
+	// f = ⟨ids[pos], ids[pos+1]⟩; while f[1] == f[0] stay in U.
+	for s.pos+1 < len(ids) && ids[s.pos+1] == p {
+		s.st = xuU
+		s.pos++
+	}
+	stop := s.pos
+	s.st = xuX
+	if s.pos+1 >= len(ids) {
+		// Run reaches the end of the trace: no successor, no assertion.
+		s.pos = len(ids)
+		return assertion{}, false
+	}
+	succ := ids[s.pos+1]
+	s.pos++
+	kind := Until
+	if stop == start {
+		kind = Next
+	}
+	return assertion{prop: p, start: start, stop: stop, next: succ, kind: kind}, true
+}
+
+// Generate is the PSMGenerator procedure (Fig. 4): it scans the
+// proposition trace Γ with the XU automaton and builds the chain PSM,
+// attaching to each state the power attributes ⟨μ, σ, n⟩ computed on the
+// corresponding interval of the dynamic power trace Δ.
+//
+// traceIdx tags the chain's states with the index of the training trace
+// they came from (used later by Calibrate and by the join bookkeeping).
+func Generate(dict *mining.Dictionary, pt *mining.PropTrace, pw *trace.Power, traceIdx int) (*Chain, error) {
+	if pt.Len() == 0 {
+		return nil, fmt.Errorf("psm: empty proposition trace")
+	}
+	if pw.Len() < pt.Len() {
+		return nil, fmt.Errorf("psm: power trace has %d instants, proposition trace %d", pw.Len(), pt.Len())
+	}
+	c := &Chain{Dict: dict, Trace: traceIdx}
+	scan := newXUScanner(pt)
+	for {
+		a, ok := scan.next()
+		if !ok {
+			break
+		}
+		var m stats.Moments
+		m.AddAll(pw.Values[a.start : a.stop+1])
+		st := &State{
+			ID: len(c.States),
+			Alts: []Alt{{
+				Seq:   Sequence{Phases: []Phase{{Prop: a.prop, Kind: a.kind}}},
+				Count: 1,
+			}},
+			Power:     m,
+			Intervals: []Interval{{Trace: traceIdx, Start: a.start, Stop: a.stop}},
+		}
+		c.States = append(c.States, st)
+	}
+	if len(c.States) == 0 {
+		return nil, fmt.Errorf("psm: proposition trace too short to expose a temporal pattern")
+	}
+	return c, nil
+}
+
+// ChainTransitions materializes the implicit transitions of a chain: the
+// edge into state i+1 is enabled by the first proposition of state i+1 —
+// exactly the f[1] value at the instant the previous state's pattern was
+// recognized (Fig. 4, createTransition).
+func ChainTransitions(c *Chain) []Transition {
+	var out []Transition
+	for i := 0; i+1 < len(c.States); i++ {
+		out = append(out, Transition{
+			From:     c.States[i].ID,
+			To:       c.States[i+1].ID,
+			Enabling: c.States[i+1].Alts[0].Seq.Phases[0].Prop,
+			Count:    1,
+		})
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package psm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"psmkit/internal/logic"
+	"psmkit/internal/mining"
+	"psmkit/internal/trace"
+)
+
+// randomWorld builds a random mode-driven trace (3 control bits walking
+// through random segments) with segment-dependent power, mines it and
+// returns the pieces the pipeline invariants are checked on.
+func randomWorld(seed int64) (*mining.Dictionary, *mining.PropTrace, *trace.Power, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	f := trace.NewFunctional([]trace.Signal{
+		{Name: "m0", Width: 1}, {Name: "m1", Width: 1}, {Name: "m2", Width: 1},
+	})
+	var pw []float64
+	segments := rng.Intn(12) + 3
+	for s := 0; s < segments; s++ {
+		mode := rng.Intn(8)
+		length := rng.Intn(6) + 1
+		level := float64(mode)*1.5 + 1 + rng.Float64()*0.05
+		for i := 0; i < length; i++ {
+			f.Append([]logic.Vector{
+				logic.FromUint64(1, uint64(mode&1)),
+				logic.FromUint64(1, uint64(mode>>1&1)),
+				logic.FromUint64(1, uint64(mode>>2&1)),
+			})
+			pw = append(pw, level+rng.Float64()*0.02)
+		}
+	}
+	dict, pts, err := mining.Mine([]*trace.Functional{f}, mining.DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, false
+	}
+	return dict, pts[0], &trace.Power{Values: pw}, true
+}
+
+// TestQuickGenerateInvariants checks the XU segmentation's structural
+// guarantees on random traces: states cover a prefix of the trace with
+// contiguous, non-overlapping intervals; each state's power-attribute n
+// equals its interval length; until-states have n ≥ 2 and next-states
+// n = 1; every transition's enabling proposition is the successor state's
+// opening proposition.
+func TestQuickGenerateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		dict, pt, pw, ok := randomWorld(seed)
+		if !ok {
+			return true
+		}
+		c, err := Generate(dict, pt, pw, 0)
+		if err != nil {
+			return true // trace too short to expose a pattern
+		}
+		expectedStart := 0
+		for _, s := range c.States {
+			iv := s.Intervals[0]
+			if iv.Start != expectedStart || iv.Stop < iv.Start {
+				return false
+			}
+			n := iv.Stop - iv.Start + 1
+			if s.Power.N != n {
+				return false
+			}
+			ph := s.Alts[0].Seq.Phases[0]
+			if ph.Kind == Next && n != 1 {
+				return false
+			}
+			if ph.Kind == Until && n < 2 {
+				return false
+			}
+			// The proposition must hold throughout the interval.
+			for t2 := iv.Start; t2 <= iv.Stop; t2++ {
+				if pt.IDs[t2] != ph.Prop {
+					return false
+				}
+			}
+			expectedStart = iv.Stop + 1
+		}
+		for _, tr := range ChainTransitions(c) {
+			if tr.Enabling != c.States[tr.To].Alts[0].Seq.Phases[0].Prop {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSimplifyPreservesEvidence checks that simplify never loses or
+// duplicates training evidence: the pooled instant count and power sum
+// are exactly preserved, and the cascade phase count equals the number of
+// merged chain states.
+func TestQuickSimplifyPreservesEvidence(t *testing.T) {
+	f := func(seed int64) bool {
+		dict, pt, pw, ok := randomWorld(seed)
+		if !ok {
+			return true
+		}
+		c, err := Generate(dict, pt, pw, 0)
+		if err != nil {
+			return true
+		}
+		s := Simplify(c, DefaultMergePolicy())
+		var nBefore, nAfter int
+		var sumBefore, sumAfter float64
+		phases := 0
+		for _, st := range c.States {
+			nBefore += st.Power.N
+			sumBefore += st.Power.Sum
+		}
+		for _, st := range s.States {
+			nAfter += st.Power.N
+			sumAfter += st.Power.Sum
+			phases += len(st.Alts[0].Seq.Phases)
+		}
+		return nBefore == nAfter &&
+			almostEqual(sumBefore, sumAfter) &&
+			phases == len(c.States)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJoinPreservesEvidence checks join across random multi-trace
+// worlds: instant counts and power sums pool exactly, the initial-state
+// multiplicities sum to the number of chains, and every transition
+// endpoint is a live state whose first propositions include the enabling
+// proposition of its incoming edges.
+func TestQuickJoinPreservesEvidence(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		// Mining requires a shared dictionary across traces, so both
+		// random worlds are built first and mined together.
+		rngSeeds := []int64{seedA, seedB}
+		var fts []*trace.Functional
+		var pws []*trace.Power
+		for _, sd := range rngSeeds {
+			rng := rand.New(rand.NewSource(sd))
+			f2 := trace.NewFunctional([]trace.Signal{
+				{Name: "m0", Width: 1}, {Name: "m1", Width: 1}, {Name: "m2", Width: 1},
+			})
+			var pwv []float64
+			segments := rng.Intn(12) + 3
+			for s := 0; s < segments; s++ {
+				mode := rng.Intn(8)
+				length := rng.Intn(6) + 1
+				level := float64(mode)*1.5 + 1
+				for i := 0; i < length; i++ {
+					f2.Append([]logic.Vector{
+						logic.FromUint64(1, uint64(mode&1)),
+						logic.FromUint64(1, uint64(mode>>1&1)),
+						logic.FromUint64(1, uint64(mode>>2&1)),
+					})
+					pwv = append(pwv, level+rng.Float64()*0.02)
+				}
+			}
+			fts = append(fts, f2)
+			pws = append(pws, &trace.Power{Values: pwv})
+		}
+		dict, pts, err := mining.Mine(fts, mining.DefaultConfig())
+		if err != nil {
+			return true
+		}
+		var chains []*Chain
+		var nBefore int
+		var sumBefore float64
+		for i, pt := range pts {
+			c, err := Generate(dict, pt, pws[i], i)
+			if err != nil {
+				continue
+			}
+			sc := Simplify(c, DefaultMergePolicy())
+			chains = append(chains, sc)
+			for _, st := range sc.States {
+				nBefore += st.Power.N
+				sumBefore += st.Power.Sum
+			}
+		}
+		if len(chains) == 0 {
+			return true
+		}
+		m := Join(chains, DefaultMergePolicy())
+
+		var nAfter int
+		var sumAfter float64
+		for _, st := range m.States {
+			nAfter += st.Power.N
+			sumAfter += st.Power.Sum
+		}
+		if nBefore != nAfter || !almostEqual(sumBefore, sumAfter) {
+			return false
+		}
+		initials := 0
+		for id, c := range m.Initials {
+			if id < 0 || id >= m.NumStates() || c <= 0 {
+				return false
+			}
+			initials += c
+		}
+		if initials != len(chains) {
+			return false
+		}
+		for _, tr := range m.Transitions {
+			if tr.From < 0 || tr.From >= m.NumStates() || tr.To < 0 || tr.To >= m.NumStates() {
+				return false
+			}
+			if tr.Count <= 0 {
+				return false
+			}
+			opens := false
+			for _, p := range m.States[tr.To].FirstProps() {
+				if p == tr.Enabling {
+					opens = true
+					break
+				}
+			}
+			if !opens {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-9*scale
+}

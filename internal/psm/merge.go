@@ -1,0 +1,334 @@
+package psm
+
+import (
+	"psmkit/internal/stats"
+)
+
+// MergePolicy quantifies the mergeability of power states (Section IV-A).
+type MergePolicy struct {
+	// Epsilon is the relative tolerance for Case 1 (two next-states,
+	// n_i = n_j = 1): mergeable when |μ_i − μ_j| ≤ Epsilon·max(|μ_i|,|μ_j|).
+	Epsilon float64
+	// Alpha is the significance level of the t-tests (Case 2: Welch's
+	// two-sample test for two until-states; Case 3: one-sample test for an
+	// until-state against a next-state). The states are mergeable when the
+	// test does NOT reject equality, i.e. p-value ≥ Alpha.
+	Alpha float64
+	// EquivalenceMargin guards the t-tests against the large-n pathology:
+	// with thousands of supporting instants the tests detect arbitrarily
+	// small mean differences, so states whose means differ by at most this
+	// relative margin are considered mergeable even when the test rejects.
+	// (This is an engineering refinement over the paper, which leaves ε to
+	// the designer; see DESIGN.md.)
+	EquivalenceMargin float64
+	// MaxCV is the paper's "σ is low" requirement: until-states are
+	// mergeable only when each one's coefficient of variation σ/μ is at
+	// most MaxCV. Zero disables the check.
+	MaxCV float64
+}
+
+// DefaultMergePolicy returns the thresholds used in the reproduction.
+//
+// MaxCV defaults to 0 (disabled): data-dependent states — a write burst
+// whose power tracks the data's Hamming activity — have inherently high σ
+// yet must merge across bursts for the subsequent regression calibration
+// to see all their evidence; Welch's test already refuses to merge states
+// whose mean power genuinely differs. The CV guard remains available for
+// the ablation benchmarks.
+func DefaultMergePolicy() MergePolicy {
+	return MergePolicy{
+		Epsilon:           0.05,
+		Alpha:             0.20,
+		EquivalenceMargin: 0.05,
+		MaxCV:             0,
+	}
+}
+
+// Mergeable implements the three cases of Section IV-A on two power-
+// attribute summaries.
+func (p MergePolicy) Mergeable(a, b stats.Moments) bool {
+	if a.N == 0 || b.N == 0 {
+		return false
+	}
+	switch {
+	case a.N == 1 && b.N == 1:
+		// Case 1: two next-states; designer tolerance on the means.
+		return relDiff(a.Mean(), b.Mean()) <= p.Epsilon
+
+	case a.N > 1 && b.N > 1:
+		// Case 2: two until-states; Welch's t-test plus the low-σ guard.
+		if p.MaxCV > 0 && (a.CoefficientOfVariation() > p.MaxCV || b.CoefficientOfVariation() > p.MaxCV) {
+			return false
+		}
+		if relDiff(a.Mean(), b.Mean()) <= p.EquivalenceMargin {
+			return true
+		}
+		res, err := stats.WelchTTest(a, b)
+		if err != nil {
+			return false
+		}
+		return res.P >= p.Alpha
+
+	default:
+		// Case 3: an until-state against a next-state (single sample).
+		big, x := a, b.Mean()
+		if b.N > 1 {
+			big, x = b, a.Mean()
+		}
+		if p.MaxCV > 0 && big.CoefficientOfVariation() > p.MaxCV {
+			return false
+		}
+		if relDiff(big.Mean(), x) <= p.EquivalenceMargin {
+			return true
+		}
+		res, err := stats.OneSampleTTest(big, x)
+		if err != nil {
+			return false
+		}
+		return res.P >= p.Alpha
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if bb := b; bb < 0 {
+		if -bb > m {
+			m = -bb
+		}
+	} else if bb > m {
+		m = bb
+	}
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+// Simplify implements the simplify procedure of Section IV on one chain:
+// it iteratively substitutes a maximal run of adjacent mergeable states
+// ⟨s_i, …, s_{i+j}⟩ with a single state whose assertion is the cascade
+// {p_i; p_{i+1}; …; p_{i+j}} and whose power attributes cover the union
+// of the merged intervals. It returns a new chain; the input is not
+// modified.
+func Simplify(c *Chain, policy MergePolicy) *Chain {
+	states := make([]*State, len(c.States))
+	for i, s := range c.States {
+		states[i] = clonedState(s)
+	}
+	for {
+		merged := false
+		var out []*State
+		i := 0
+		for i < len(states) {
+			cur := states[i]
+			for i+1 < len(states) && policy.Mergeable(cur.Power, states[i+1].Power) {
+				cur = mergeAdjacent(cur, states[i+1])
+				i++
+				merged = true
+			}
+			out = append(out, cur)
+			i++
+		}
+		states = out
+		if !merged {
+			break
+		}
+	}
+	for i, s := range states {
+		s.ID = i
+	}
+	return &Chain{Dict: c.Dict, Trace: c.Trace, States: states}
+}
+
+// mergeAdjacent folds state b (the immediate successor of a in the chain)
+// into a: the cascade concatenates, the intervals concatenate (they are
+// adjacent in the trace) and the power attributes pool exactly.
+func mergeAdjacent(a, b *State) *State {
+	out := clonedState(a)
+	// Both a and b are single-alternative at simplify time (join has not
+	// run yet); the cascades concatenate.
+	out.Alts[0].Seq.Phases = append(out.Alts[0].Seq.Phases, b.Alts[0].Seq.Phases...)
+	out.Power.Merge(b.Power)
+	// Adjacent intervals coalesce into [start_a, stop_b].
+	last := out.Intervals[len(out.Intervals)-1]
+	bi := b.Intervals[0]
+	out.Intervals[len(out.Intervals)-1] = Interval{Trace: last.Trace, Start: last.Start, Stop: bi.Stop}
+	return out
+}
+
+// Join implements the join procedure of Section IV: starting from the
+// simplified chains it pools every state into one model and iteratively
+// collapses any two mergeable states — adjacent or not, from the same or
+// different chains. The result can be non-deterministic: a state may
+// carry several identical assertions with different successors; Alt
+// counts and Transition counts record the multiplicities the HMM needs.
+func Join(chains []*Chain, policy MergePolicy) *Model {
+	if len(chains) == 0 {
+		return &Model{Initials: map[int]int{}}
+	}
+	m := &Model{Dict: chains[0].Dict, Initials: map[int]int{}}
+
+	// Pool all states and chain transitions with model-global ids.
+	for _, c := range chains {
+		base := len(m.States)
+		for _, s := range c.States {
+			ns := clonedState(s)
+			ns.ID = base + s.ID
+			m.States = append(m.States, ns)
+		}
+		for _, t := range ChainTransitions(c) {
+			m.Transitions = append(m.Transitions, Transition{
+				From: base + t.From, To: base + t.To, Enabling: t.Enabling, Count: t.Count,
+			})
+		}
+		m.Initials[base]++
+	}
+
+	// Merged state ids are tracked in an alias table and the transitions
+	// are rewired once at the end — collapsing is then O(alts), not O(T).
+	alias := map[int]int{}
+
+	// Phase 1 — greedy clustering: walk the pooled states in order and
+	// fold each into the first already-kept state it is mergeable with.
+	// This brings the state count down from O(trace length) to the number
+	// of distinct power behaviours in one linear pass.
+	kept := 0
+	for i := 0; i < len(m.States); {
+		merged := false
+		for j := 0; j < kept; j++ {
+			if policy.Mergeable(m.States[j].Power, m.States[i].Power) {
+				collapse(m, alias, j, i)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			// Keep: move into the kept prefix (it already is — collapse
+			// removes merged entries, so position i becomes kept).
+			kept++
+			i = kept
+		}
+	}
+
+	// Phase 2 — fixpoint: pooling moved the kept states' means, so pairs
+	// that were not mergeable against the early evidence may be now.
+	for {
+		found := false
+		for i := 0; i < len(m.States) && !found; i++ {
+			for j := i + 1; j < len(m.States) && !found; j++ {
+				if policy.Mergeable(m.States[i].Power, m.States[j].Power) {
+					collapse(m, alias, i, j)
+					found = true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	resolveTransitions(m, alias)
+	reindex(m)
+	return m
+}
+
+// collapse merges state index bi into state index ai: alternatives union
+// (counting duplicates), power pools, intervals concatenate. The merged
+// id is recorded in the alias table; transitions are rewired later in one
+// pass.
+func collapse(m *Model, alias map[int]int, ai, bi int) {
+	a, b := m.States[ai], m.States[bi]
+	for _, alt := range b.Alts {
+		key := alt.Seq.Key()
+		merged := false
+		for k := range a.Alts {
+			if a.Alts[k].Seq.Key() == key {
+				a.Alts[k].Count += alt.Count
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			a.Alts = append(a.Alts, Alt{
+				Seq:   Sequence{Phases: append([]Phase(nil), alt.Seq.Phases...)},
+				Count: alt.Count,
+			})
+		}
+	}
+	a.Power.Merge(b.Power)
+	a.Intervals = append(a.Intervals, b.Intervals...)
+
+	alias[b.ID] = a.ID
+	if n, ok := m.Initials[b.ID]; ok {
+		m.Initials[a.ID] += n
+		delete(m.Initials, b.ID)
+	}
+	m.States = append(m.States[:bi], m.States[bi+1:]...)
+}
+
+// resolveTransitions chases alias chains on every transition endpoint and
+// aggregates the duplicates that merging produced.
+func resolveTransitions(m *Model, alias map[int]int) {
+	find := func(id int) int {
+		for {
+			next, ok := alias[id]
+			if !ok {
+				return id
+			}
+			// Path compression keeps long merge chains cheap.
+			if n2, ok2 := alias[next]; ok2 {
+				alias[id] = n2
+			}
+			id = next
+		}
+	}
+	for i := range m.Transitions {
+		m.Transitions[i].From = find(m.Transitions[i].From)
+		m.Transitions[i].To = find(m.Transitions[i].To)
+	}
+	dedupTransitions(m)
+}
+
+// dedupTransitions aggregates parallel edges (same from/to/enabling) into
+// one transition with a summed count.
+func dedupTransitions(m *Model) {
+	type key struct{ from, to, enabling int }
+	agg := map[key]int{}
+	var order []key
+	for _, t := range m.Transitions {
+		k := key{t.From, t.To, t.Enabling}
+		if _, ok := agg[k]; !ok {
+			order = append(order, k)
+		}
+		agg[k] += t.Count
+	}
+	m.Transitions = m.Transitions[:0]
+	for _, k := range order {
+		m.Transitions = append(m.Transitions, Transition{From: k.from, To: k.to, Enabling: k.enabling, Count: agg[k]})
+	}
+}
+
+// reindex renumbers states to 0..n-1 and rewrites transitions and
+// initials accordingly.
+func reindex(m *Model) {
+	remap := map[int]int{}
+	for i, s := range m.States {
+		remap[s.ID] = i
+		s.ID = i
+	}
+	for i := range m.Transitions {
+		m.Transitions[i].From = remap[m.Transitions[i].From]
+		m.Transitions[i].To = remap[m.Transitions[i].To]
+	}
+	newInit := map[int]int{}
+	for id, n := range m.Initials {
+		newInit[remap[id]] = n
+	}
+	m.Initials = newInit
+}

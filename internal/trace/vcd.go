@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"psmkit/internal/logic"
+)
+
+// ReadVCD parses a Value Change Dump into a functional trace with one row
+// per timestamp unit in [0, lastTimestamp]. Values persist between change
+// records (forward fill); signals with no value before their first change
+// start at zero; `x` and `z` bits read as 0, matching the common
+// convention when importing simulator dumps for power analysis.
+//
+// The reader accepts the subset of VCD that simulators commonly emit (and
+// WriteVCD produces): $var declarations of type wire/reg, scalar changes
+// `0id`/`1id`, vector changes `b... id`, and `#time` records. $dumpvars /
+// $end markers are tolerated.
+func ReadVCD(r io.Reader) (*Functional, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	type sig struct {
+		name  string
+		width int
+		col   int
+	}
+	byID := map[string]*sig{}
+	var order []*sig
+
+	// --- header -----------------------------------------------------------
+	inDefs := true
+	for inDefs && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "$var"):
+			// $var wire <width> <id> <name> [indices] $end
+			f := strings.Fields(line)
+			if len(f) < 5 {
+				return nil, fmt.Errorf("trace: malformed $var: %q", line)
+			}
+			w, err := strconv.Atoi(f[2])
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("trace: bad width in $var: %q", line)
+			}
+			s := &sig{name: f[4], width: w, col: len(order)}
+			byID[f[3]] = s
+			order = append(order, s)
+		case strings.HasPrefix(line, "$enddefinitions"):
+			inDefs = false
+		default:
+			// $timescale, $scope, $upscope, comments… skipped.
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("trace: VCD declares no signals")
+	}
+
+	sigs := make([]Signal, len(order))
+	cur := make([]logic.Vector, len(order))
+	for i, s := range order {
+		sigs[i] = Signal{Name: s.name, Width: s.width}
+		cur[i] = logic.New(s.width)
+	}
+	out := NewFunctional(sigs)
+
+	apply := func(line string) error {
+		switch line[0] {
+		case '0', '1':
+			s, ok := byID[line[1:]]
+			if !ok {
+				return fmt.Errorf("trace: change for unknown VCD id %q", line[1:])
+			}
+			cur[s.col] = logic.FromUint64(s.width, uint64(line[0]-'0'))
+		case 'x', 'z', 'X', 'Z':
+			s, ok := byID[line[1:]]
+			if !ok {
+				return fmt.Errorf("trace: change for unknown VCD id %q", line[1:])
+			}
+			cur[s.col] = logic.New(s.width)
+		case 'b', 'B':
+			bits, id, ok := strings.Cut(line[1:], " ")
+			if !ok {
+				return fmt.Errorf("trace: malformed vector change %q", line)
+			}
+			s, found := byID[strings.TrimSpace(id)]
+			if !found {
+				return fmt.Errorf("trace: change for unknown VCD id %q", id)
+			}
+			v := logic.New(s.width)
+			for _, c := range bits {
+				v = v.Shl(1)
+				if c == '1' {
+					v = v.SetBit(0, 1)
+				}
+				// 0/x/z all contribute a 0 bit.
+			}
+			cur[s.col] = v
+		default:
+			return fmt.Errorf("trace: unsupported VCD change %q", line)
+		}
+		return nil
+	}
+
+	emitTo := func(t int) {
+		for out.Len() < t {
+			out.Append(cur)
+		}
+	}
+
+	// --- value changes ------------------------------------------------------
+	started := false
+	lastT := 0
+	handle := func(line string) error {
+		if line == "" || strings.HasPrefix(line, "$") {
+			return nil // $dumpvars / $end markers
+		}
+		if line[0] == '#' {
+			t, err := strconv.Atoi(line[1:])
+			if err != nil || t < 0 {
+				return fmt.Errorf("trace: bad timestamp %q", line)
+			}
+			if started {
+				// rows for [lastT, t) carry the previous values
+				emitTo(t)
+			}
+			started = true
+			lastT = t
+			return nil
+		}
+		// Changes before the first timestamp set initial values.
+		return apply(line)
+	}
+
+	for sc.Scan() {
+		if err := handle(strings.TrimSpace(sc.Text())); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !started {
+		return nil, fmt.Errorf("trace: VCD has no timestamps")
+	}
+	// final row for the last timestamp
+	emitTo(lastT + 1)
+	return out, nil
+}
