@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: build test race fmt vet lint verify ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Layer-2 psmlint: the repo's own go/ast linter over the whole module.
+lint:
+	$(GO) run ./cmd/psmlint code ./...
+
+# Layer-1 psmlint sanity: the hand-corrupted fixture must fail, the clean
+# one must pass (guards the verifier itself against regressions).
+verify:
+	@$(GO) run ./cmd/psmlint model cmd/psmlint/testdata/clean.json
+	@if $(GO) run ./cmd/psmlint model cmd/psmlint/testdata/corrupt.json >/dev/null 2>&1; then \
+		echo "psmlint model failed to reject the corrupt fixture"; \
+		exit 1; \
+	else \
+		echo "cmd/psmlint/testdata/corrupt.json: rejected as expected"; \
+	fi
+
+ci: fmt vet build race lint verify
+	@echo "ci: all gates passed"

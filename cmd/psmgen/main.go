@@ -20,6 +20,8 @@ import (
 	"os"
 	"strings"
 
+	"psmkit/internal/check"
+	"psmkit/internal/hmm"
 	"psmkit/internal/mining"
 	"psmkit/internal/powersim"
 	"psmkit/internal/psm"
@@ -39,12 +41,14 @@ func main() {
 	epsilon := flag.Float64("epsilon", psm.DefaultMergePolicy().Epsilon, "merge: next-state mean tolerance")
 	maxCV := flag.Float64("max-cv", psm.DefaultCalibrationPolicy().MaxCV, "calibrate: CV threshold for data-dependent states")
 	minR := flag.Float64("min-r", psm.DefaultCalibrationPolicy().MinR, "calibrate: minimum |Pearson r|")
+	doCheck := flag.Bool("check", true, "verify chains, model and HMM against the paper invariants before writing")
 	flag.Parse()
 
 	if err := run(*funcs, *powers, *inputs, *out, *dot, *jsonOut,
 		mining.Config{MinSupport: *minSupport, MinRunLength: *minRun},
 		psm.MergePolicy{Epsilon: *epsilon, Alpha: *alpha, EquivalenceMargin: psm.DefaultMergePolicy().EquivalenceMargin},
 		psm.CalibrationPolicy{MaxCV: *maxCV, MinR: *minR},
+		*doCheck,
 	); err != nil {
 		fmt.Fprintln(os.Stderr, "psmgen:", err)
 		os.Exit(1)
@@ -52,7 +56,7 @@ func main() {
 }
 
 func run(funcs, powers, inputs, out, dot, jsonOut string,
-	mcfg mining.Config, merge psm.MergePolicy, cal psm.CalibrationPolicy) error {
+	mcfg mining.Config, merge psm.MergePolicy, cal psm.CalibrationPolicy, doCheck bool) error {
 
 	funcFiles := split(funcs)
 	powerFiles := split(powers)
@@ -106,6 +110,27 @@ func run(funcs, powers, inputs, out, dot, jsonOut string,
 		calibrated = psm.Calibrate(model, fts, pws, inputCols, cal)
 	}
 
+	if doCheck {
+		rep := &check.Report{}
+		for _, c := range chains {
+			rep.Merge(check.CheckChain(c))
+		}
+		opts := check.DefaultOptions()
+		opts.MinR = cal.MinR
+		doc := check.FromPSM(model, "pipeline")
+		doc.AttachHMM(hmm.New(model))
+		rep.Merge(check.Run(doc, opts))
+		for _, f := range rep.Findings {
+			if f.Severity >= check.Warn {
+				fmt.Fprintln(os.Stderr, "psmgen: check:", f)
+			}
+		}
+		if rep.HasErrors() {
+			return fmt.Errorf("generated model failed verification (%d errors); rerun with -check=false to emit it anyway",
+				rep.Count(check.Error))
+		}
+	}
+
 	if err := writeTo(out, func(w io.Writer) error { return psm.Save(w, model) }); err != nil {
 		return err
 	}
@@ -128,8 +153,12 @@ func run(funcs, powers, inputs, out, dot, jsonOut string,
 		errSum += res.MRE * float64(res.Instants)
 		n += res.Instants
 	}
+	mre := 0.0
+	if n > 0 {
+		mre = 100 * errSum / float64(n)
+	}
 	fmt.Printf("model: %d states, %d transitions, %d calibrated; training MRE %.2f%%\n",
-		model.NumStates(), model.NumTransitions(), calibrated, 100*errSum/float64(n))
+		model.NumStates(), model.NumTransitions(), calibrated, mre)
 	fmt.Printf("wrote %s\n", out)
 	return nil
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psmkit/internal/experiment"
+	"psmkit/internal/mining"
+	"psmkit/internal/psm"
+	"psmkit/internal/testbench"
+)
+
+func runLint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCorruptModelFails(t *testing.T) {
+	code, out, _ := runLint(t, "model", filepath.Join("testdata", "corrupt.json"))
+	if code != 1 {
+		t.Fatalf("corrupt model must exit 1, got %d\nstdout:\n%s", code, out)
+	}
+	// The fixture plants four distinct corruptions; each must be reported
+	// by its rule.
+	for _, rule := range []string{
+		"[props-exclusive]", // duplicate proposition signatures (overlap)
+		"[power-attrs]",     // negative sigma
+		"[reachability]",    // state 2 unreachable from the initial states
+		"[hmm-stochastic]",  // HMM row 1 sums to 0.4
+	} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("corrupt fixture: no %s finding in output:\n%s", rule, out)
+		}
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("missing FAIL summary line:\n%s", out)
+	}
+}
+
+func TestCleanModelPasses(t *testing.T) {
+	code, out, stderr := runLint(t, "model", filepath.Join("testdata", "clean.json"))
+	if code != 0 {
+		t.Fatalf("clean model must exit 0, got %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("missing ok summary line:\n%s", out)
+	}
+}
+
+func TestMixedFilesStillFail(t *testing.T) {
+	code, out, _ := runLint(t, "model",
+		filepath.Join("testdata", "clean.json"),
+		filepath.Join("testdata", "corrupt.json"))
+	if code != 1 {
+		t.Fatalf("one corrupt file among clean ones must exit 1, got %d\n%s", code, out)
+	}
+}
+
+func TestMissingFileIsUsageError(t *testing.T) {
+	code, _, stderr := runLint(t, "model", filepath.Join("testdata", "no-such-file.json"))
+	if code != 2 {
+		t.Fatalf("unreadable input must exit 2, got %d\nstderr:\n%s", code, stderr)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if code, _, _ := runLint(t, "frobnicate"); code != 2 {
+		t.Fatalf("unknown subcommand must exit 2, got %d", code)
+	}
+	if code, _, _ := runLint(t); code != 2 {
+		t.Fatalf("no arguments must exit 2, got %d", code)
+	}
+}
+
+// TestGeneratedModelPasses runs the full mining pipeline on a synthetic
+// RAM workload and verifies psmlint accepts the resulting .psm artifact —
+// the acceptance criterion that every psmgen-produced model verifies.
+func TestGeneratedModelPasses(t *testing.T) {
+	c, err := experiment.CaseByName("RAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := experiment.GenerateTraces(c, 2000, 1, testbench.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict, pts, err := mining.Mine(ts.FTs, mining.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chains []*psm.Chain
+	for i, pt := range pts {
+		chain, err := psm.Generate(dict, pt, ts.PWs[i], i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains = append(chains, psm.Simplify(chain, psm.DefaultMergePolicy()))
+	}
+	model := psm.Join(chains, psm.DefaultMergePolicy())
+
+	path := filepath.Join(t.TempDir(), "ram.psm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := psm.Save(f, model); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, stderr := runLint(t, "model", path)
+	if code != 0 {
+		t.Fatalf("generated model must verify cleanly, got exit %d\nstdout:\n%s\nstderr:\n%s",
+			code, out, stderr)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"os"
 	"strings"
 
+	"psmkit/internal/check"
+	"psmkit/internal/hmm"
 	"psmkit/internal/powersim"
 	"psmkit/internal/psm"
 	"psmkit/internal/trace"
@@ -28,15 +30,16 @@ func main() {
 	inputs := flag.String("inputs", "", "comma-separated primary-input signal names")
 	estOut := flag.String("est", "", "optional output CSV of per-instant power estimates")
 	noResync := flag.Bool("no-resync", false, "disable HMM resynchronization (basic Section III-C simulation)")
+	doCheck := flag.Bool("check", true, "verify the loaded model and its HMM before simulating")
 	flag.Parse()
 
-	if err := run(*modelPath, *funcPath, *powerPath, *inputs, *estOut, *noResync); err != nil {
+	if err := run(*modelPath, *funcPath, *powerPath, *inputs, *estOut, *noResync, *doCheck); err != nil {
 		fmt.Fprintln(os.Stderr, "psmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelPath, funcPath, powerPath, inputs, estOut string, noResync bool) error {
+func run(modelPath, funcPath, powerPath, inputs, estOut string, noResync, doCheck bool) error {
 	mf, err := os.Open(modelPath)
 	if err != nil {
 		return err
@@ -45,6 +48,23 @@ func run(modelPath, funcPath, powerPath, inputs, estOut string, noResync bool) e
 	mf.Close()
 	if err != nil {
 		return err
+	}
+
+	if doCheck {
+		doc := check.FromPSM(model, modelPath)
+		if len(model.States) > 0 {
+			doc.AttachHMM(hmm.New(model))
+		}
+		rep := check.Run(doc, check.DefaultOptions())
+		for _, f := range rep.Findings {
+			if f.Severity >= check.Warn {
+				fmt.Fprintln(os.Stderr, "psmsim: check:", f)
+			}
+		}
+		if rep.HasErrors() {
+			return fmt.Errorf("%s failed verification (%d errors); rerun with -check=false to simulate anyway",
+				modelPath, rep.Count(check.Error))
+		}
 	}
 
 	ff, err := os.Open(funcPath)

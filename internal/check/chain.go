@@ -1,0 +1,88 @@
+package check
+
+import (
+	"psmkit/internal/psm"
+)
+
+// CheckChain verifies the XU-automaton well-formedness of a chain PSM
+// (Section III-B/C): the segmentation invariants the PSMGenerator's
+// two-element FIFO guarantees by construction and simplify must preserve.
+//
+//   - every chain state carries exactly one alternative (join has not run);
+//   - an until phase corresponds to a run of at least two instants, a next
+//     phase to exactly one — so a state's supporting interval must span at
+//     least Σ(2 per U, 1 per X) instants, and exactly that many when the
+//     cascade is all-next;
+//   - the power attributes cover exactly the supporting interval (n equals
+//     the interval length);
+//   - intervals tile the trace: consecutive states abut with no gap or
+//     overlap, and every interval carries the chain's trace index.
+//
+// It accepts both raw generator output and simplified chains (whose
+// states are cascades over coalesced intervals).
+func CheckChain(c *psm.Chain) *Report {
+	const rule = "xu-wellformed"
+	rep := &Report{}
+	for i, s := range c.States {
+		if s.ID != i {
+			rep.addf(rule, Error, s.ID, -1, -1, "chain state at position %d has id %d (want %d)", i, s.ID, i)
+		}
+		if len(s.Alts) != 1 {
+			rep.addf(rule, Error, s.ID, -1, -1, "chain state carries %d alternatives (want exactly 1 before join)", len(s.Alts))
+			continue
+		}
+		phases := s.Alts[0].Seq.Phases
+		if len(phases) == 0 {
+			rep.addf(rule, Error, s.ID, -1, -1, "chain state has an empty phase cascade")
+			continue
+		}
+		minLen, allNext := 0, true
+		for _, p := range phases {
+			if p.Kind == psm.Until {
+				minLen += 2
+				allNext = false
+			} else {
+				minLen++
+			}
+		}
+		length := 0
+		for _, iv := range s.Intervals {
+			length += iv.Stop - iv.Start + 1
+			if iv.Trace != c.Trace {
+				rep.addf(rule, Error, s.ID, -1, -1,
+					"supporting interval references trace %d (chain mined from trace %d)", iv.Trace, c.Trace)
+			}
+			if iv.Stop < iv.Start {
+				rep.addf(rule, Error, s.ID, -1, -1, "supporting interval [%d,%d] is empty", iv.Start, iv.Stop)
+			}
+		}
+		if length < minLen {
+			rep.addf(rule, Error, s.ID, -1, -1,
+				"assertion needs at least %d instants (until runs >= 2, next runs == 1) but the evidence spans %d", minLen, length)
+		}
+		if allNext && length != minLen {
+			rep.addf(rule, Error, s.ID, -1, -1,
+				"all-next cascade of %d phases must span exactly %d instants, evidence spans %d", len(phases), minLen, length)
+		}
+		if s.Power.N != length {
+			rep.addf(rule, Error, s.ID, -1, -1,
+				"power attributes pool n=%d observations but the supporting intervals span %d instants", s.Power.N, length)
+		}
+	}
+	// Consecutive states must abut in the trace: the XU automaton consumes
+	// the trace left to right with no gaps.
+	for i := 0; i+1 < len(c.States); i++ {
+		a, b := c.States[i], c.States[i+1]
+		if len(a.Intervals) == 0 || len(b.Intervals) == 0 {
+			continue
+		}
+		prev := a.Intervals[len(a.Intervals)-1]
+		next := b.Intervals[0]
+		if next.Start != prev.Stop+1 {
+			rep.addf(rule, Error, -1, a.ID, b.ID,
+				"supporting intervals do not abut: state %d ends at %d, state %d starts at %d", a.ID, prev.Stop, b.ID, next.Start)
+		}
+	}
+	rep.Sort()
+	return rep
+}

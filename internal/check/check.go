@@ -1,0 +1,208 @@
+// Package check is the domain layer of psmlint: a diagnostic engine that
+// statically verifies generated PSM and HMM artifacts against the
+// invariants the paper's flow assumes but never re-checks downstream.
+//
+// The pipeline (mine → PSMGenerator → simplify/join → calibrate → HMM)
+// relies on properties that are easy to violate by a bug in any stage or
+// by a corrupted model file:
+//
+//   - the mined proposition set Prop is mutually exclusive (exactly one
+//     proposition holds per instant — Section III-A);
+//   - chain PSMs follow the XU automaton's segmentation: until runs span
+//     at least two instants, next runs exactly one (Section III-B);
+//   - merged states keep statistically sound power attributes ⟨μ, σ, n⟩
+//     (simplify/join pool moments exactly — Section IV);
+//   - every state is reachable from an initial state, non-determinism
+//     introduced by join is known and bounded;
+//   - calibration regressions are finite and honor the correlation
+//     threshold (Section IV);
+//   - the HMM's A and B matrices stay row-stochastic and π is a
+//     distribution (Section V).
+//
+// Rules implement the Rule interface over a source-independent model
+// document (see model.go) so the same checks run on in-memory pipeline
+// output, on saved .psm files and on JSON fixtures.
+package check
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Severity ranks findings. Error findings make verification fail; Warn
+// findings indicate suspicious but admissible artifacts; Info findings
+// report structure worth knowing (e.g. non-determinism the HMM resolves).
+type Severity int
+
+const (
+	Info Severity = iota
+	Warn
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Finding is one structured diagnostic, located at a state and/or a
+// transition of the checked model when applicable.
+type Finding struct {
+	Rule     string
+	Severity Severity
+	// State is the id of the state the finding concerns, or -1.
+	State int
+	// From/To locate a transition, or -1/-1.
+	From, To int
+	Msg      string
+}
+
+// String renders the finding as "severity [rule] location: message".
+func (f Finding) String() string {
+	loc := ""
+	switch {
+	case f.From >= 0 && f.To >= 0:
+		loc = fmt.Sprintf(" s%d->s%d", f.From, f.To)
+	case f.State >= 0:
+		loc = fmt.Sprintf(" s%d", f.State)
+	}
+	return fmt.Sprintf("%s [%s]%s: %s", f.Severity, f.Rule, loc, f.Msg)
+}
+
+// Report collects the findings of one verification run.
+type Report struct {
+	Findings []Finding
+}
+
+// addf is the convenience constructor used by the rules.
+func (r *Report) addf(rule string, sev Severity, state, from, to int, format string, args ...interface{}) {
+	r.Findings = append(r.Findings, Finding{
+		Rule: rule, Severity: sev, State: state, From: from, To: to,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// Count returns the number of findings at exactly the given severity.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any Error-severity finding was produced.
+func (r *Report) HasErrors() bool { return r.Count(Error) > 0 }
+
+// Merge appends another report's findings.
+func (r *Report) Merge(o *Report) {
+	r.Findings = append(r.Findings, o.Findings...)
+}
+
+// Sort orders findings by severity (errors first), then by state,
+// transition and rule id, so output is deterministic and diff-friendly.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.State != b.State {
+			return a.State < b.State
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// Write renders every finding, one per line.
+func (r *Report) Write(w io.Writer) error {
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Options tunes the verification run.
+type Options struct {
+	// MinR, when positive, is the calibration correlation threshold every
+	// state regression must honor (|R| >= MinR). Zero skips the check.
+	MinR float64
+	// Tol is the numeric tolerance for row-stochasticity and distribution
+	// sums. Zero means the default 1e-9.
+	Tol float64
+	// MinSeverity filters the report: findings below it are dropped.
+	MinSeverity Severity
+}
+
+// DefaultOptions returns the tolerances used by the pipeline wiring.
+func DefaultOptions() Options { return Options{Tol: 1e-9} }
+
+func (o Options) tol() float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return 1e-9
+}
+
+// Rule is one verification pass over a model document.
+type Rule interface {
+	// ID is the stable rule identifier reported in findings (and usable
+	// in documentation / suppression).
+	ID() string
+	// Check appends this rule's findings for the model to the report.
+	Check(m *Model, opts Options, rep *Report)
+}
+
+// ModelRules returns every registered model-document rule, in the order
+// they run.
+func ModelRules() []Rule {
+	return []Rule{
+		propsExclusiveRule{},
+		structureRule{},
+		powerAttrsRule{},
+		reachabilityRule{},
+		nondeterminismRule{},
+		calibrationRule{},
+		hmmShapeRule{},
+		hmmStochasticRule{},
+	}
+}
+
+// Run executes every model rule and returns the sorted, severity-filtered
+// report.
+func Run(m *Model, opts Options) *Report {
+	rep := &Report{}
+	for _, r := range ModelRules() {
+		r.Check(m, opts, rep)
+	}
+	if opts.MinSeverity > Info {
+		kept := rep.Findings[:0]
+		for _, f := range rep.Findings {
+			if f.Severity >= opts.MinSeverity {
+				kept = append(kept, f)
+			}
+		}
+		rep.Findings = kept
+	}
+	rep.Sort()
+	return rep
+}

@@ -1,0 +1,477 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"psmkit/internal/psm"
+	"psmkit/internal/stats"
+)
+
+// validDoc builds a minimal model document that passes every rule with no
+// errors: two mutually exclusive propositions, two sound states in a
+// cycle, and a consistent HMM.
+func validDoc() *Model {
+	return &Model{
+		Source:   "test",
+		NumProps: 2,
+		PropSigs: []uint64{1, 2},
+		States: []State{
+			{ID: 0, Alts: []Alt{{Seq: []PhaseDoc{{Prop: 0, Kind: "U"}}, Count: 1}}, Mu: 1.0, Sigma: 0.1, N: 5},
+			{ID: 1, Alts: []Alt{{Seq: []PhaseDoc{{Prop: 1, Kind: "X"}}, Count: 1}}, Mu: 2.0, Sigma: 0, N: 1},
+		},
+		Transitions: []Transition{
+			{From: 0, To: 1, Enabling: 1, Count: 3},
+			{From: 1, To: 0, Enabling: 0, Count: 3},
+		},
+		Initials: map[int]int{0: 1},
+		HMM: &HMMDoc{
+			A:  [][]float64{{0, 1}, {1, 0}},
+			B:  [][]float64{{1, 0}, {0, 1}},
+			Pi: []float64{1, 0},
+		},
+	}
+}
+
+func findingsOf(rep *Report, rule string) []Finding {
+	var out []Finding
+	for _, f := range rep.Findings {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestValidDocPassesAllRules(t *testing.T) {
+	rep := Run(validDoc(), DefaultOptions())
+	if rep.HasErrors() {
+		t.Fatalf("valid document produced errors:\n%v", rep.Findings)
+	}
+	if n := rep.Count(Warn); n != 0 {
+		t.Fatalf("valid document produced %d warnings:\n%v", n, rep.Findings)
+	}
+}
+
+// TestModelRules exercises every rule with one violating fixture each
+// (the passing fixture is TestValidDocPassesAllRules).
+func TestModelRules(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*Model)
+		rule     string
+		severity Severity
+		msgPart  string
+	}{
+		{
+			name:     "props-exclusive/duplicate-signature",
+			mutate:   func(m *Model) { m.PropSigs = []uint64{1, 1} },
+			rule:     "props-exclusive",
+			severity: Error,
+			msgPart:  "mutually exclusive",
+		},
+		{
+			name:     "structure/duplicate-state-id",
+			mutate:   func(m *Model) { m.States[1].ID = 0 },
+			rule:     "structure",
+			severity: Error,
+			msgPart:  "duplicate state id",
+		},
+		{
+			name:     "structure/empty-assertions",
+			mutate:   func(m *Model) { m.States[0].Alts = nil },
+			rule:     "structure",
+			severity: Error,
+			msgPart:  "no characterizing assertion",
+		},
+		{
+			name:     "structure/bad-kind",
+			mutate:   func(m *Model) { m.States[0].Alts[0].Seq[0].Kind = "Z" },
+			rule:     "structure",
+			severity: Error,
+			msgPart:  "unknown temporal kind",
+		},
+		{
+			name:     "structure/prop-out-of-range",
+			mutate:   func(m *Model) { m.States[0].Alts[0].Seq[0].Prop = 7 },
+			rule:     "structure",
+			severity: Error,
+			msgPart:  "outside the mined set",
+		},
+		{
+			name:     "structure/transition-to-nowhere",
+			mutate:   func(m *Model) { m.Transitions[0].To = 9 },
+			rule:     "structure",
+			severity: Error,
+			msgPart:  "non-existent state",
+		},
+		{
+			name:     "structure/enabling-out-of-range",
+			mutate:   func(m *Model) { m.Transitions[0].Enabling = 5 },
+			rule:     "structure",
+			severity: Error,
+			msgPart:  "enabling proposition",
+		},
+		{
+			name:     "structure/no-initials",
+			mutate:   func(m *Model) { m.Initials = map[int]int{} },
+			rule:     "structure",
+			severity: Error,
+			msgPart:  "no initial state",
+		},
+		{
+			name:     "power-attrs/negative-sigma",
+			mutate:   func(m *Model) { m.States[0].Sigma = -0.5 },
+			rule:     "power-attrs",
+			severity: Error,
+			msgPart:  "negative power deviation",
+		},
+		{
+			name:     "power-attrs/nan-mean",
+			mutate:   func(m *Model) { m.States[0].Mu = math.NaN() },
+			rule:     "power-attrs",
+			severity: Error,
+			msgPart:  "must be finite",
+		},
+		{
+			name:     "power-attrs/zero-observations",
+			mutate:   func(m *Model) { m.States[0].N = 0 },
+			rule:     "power-attrs",
+			severity: Error,
+			msgPart:  "supporting instants",
+		},
+		{
+			name:     "power-attrs/spread-on-singleton",
+			mutate:   func(m *Model) { m.States[1].Sigma = 0.2 },
+			rule:     "power-attrs",
+			severity: Warn,
+			msgPart:  "single supporting instant",
+		},
+		{
+			name: "reachability/dead-state",
+			mutate: func(m *Model) {
+				m.States = append(m.States, State{
+					ID: 2, Alts: []Alt{{Seq: []PhaseDoc{{Prop: 0, Kind: "U"}}, Count: 1}}, Mu: 1, Sigma: 0, N: 2,
+				})
+				m.Transitions = append(m.Transitions, Transition{From: 2, To: 0, Enabling: 0, Count: 1})
+			},
+			rule:     "reachability",
+			severity: Error,
+			msgPart:  "unreachable",
+		},
+		{
+			name:     "reachability/absorbing-info",
+			mutate:   func(m *Model) { m.Transitions = m.Transitions[:1] },
+			rule:     "reachability",
+			severity: Info,
+			msgPart:  "absorbing",
+		},
+		{
+			name: "nondeterminism/competing-transitions",
+			mutate: func(m *Model) {
+				m.Transitions = append(m.Transitions, Transition{From: 0, To: 0, Enabling: 1, Count: 1})
+			},
+			rule:     "nondeterminism",
+			severity: Info,
+			msgPart:  "competing transitions",
+		},
+		{
+			name: "nondeterminism/shared-assertion",
+			mutate: func(m *Model) {
+				m.States[1].Alts = append(m.States[1].Alts, Alt{Seq: []PhaseDoc{{Prop: 0, Kind: "U"}}, Count: 1})
+			},
+			rule:     "nondeterminism",
+			severity: Info,
+			msgPart:  "characterizes 2 states",
+		},
+		{
+			name:     "calibration/nan-slope",
+			mutate:   func(m *Model) { m.States[0].Fit = &Fit{Slope: math.NaN(), Intercept: 1, R: 0.9} },
+			rule:     "calibration",
+			severity: Error,
+			msgPart:  "not finite",
+		},
+		{
+			name:     "calibration/invalid-r",
+			mutate:   func(m *Model) { m.States[0].Fit = &Fit{Slope: 1, Intercept: 1, R: 1.5} },
+			rule:     "calibration",
+			severity: Error,
+			msgPart:  "valid Pearson",
+		},
+		{
+			name:     "hmm-shape/missing-row",
+			mutate:   func(m *Model) { m.HMM.A = m.HMM.A[:1] },
+			rule:     "hmm-shape",
+			severity: Error,
+			msgPart:  "rows for 2 states",
+		},
+		{
+			name:     "hmm-shape/ragged-b",
+			mutate:   func(m *Model) { m.HMM.B[1] = []float64{1} },
+			rule:     "hmm-shape",
+			severity: Error,
+			msgPart:  "columns",
+		},
+		{
+			name:     "hmm-stochastic/non-stochastic-row",
+			mutate:   func(m *Model) { m.HMM.A[0] = []float64{0.2, 0.3} },
+			rule:     "hmm-stochastic",
+			severity: Error,
+			msgPart:  "sums to",
+		},
+		{
+			name:     "hmm-stochastic/negative-probability",
+			mutate:   func(m *Model) { m.HMM.B[0] = []float64{1.5, -0.5} },
+			rule:     "hmm-stochastic",
+			severity: Error,
+			msgPart:  "not a probability",
+		},
+		{
+			name:     "hmm-stochastic/empty-pi",
+			mutate:   func(m *Model) { m.HMM.Pi = []float64{0, 0} },
+			rule:     "hmm-stochastic",
+			severity: Error,
+			msgPart:  "no initial mass",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := validDoc()
+			tc.mutate(doc)
+			rep := Run(doc, DefaultOptions())
+			hits := findingsOf(rep, tc.rule)
+			found := false
+			for _, f := range hits {
+				if f.Severity == tc.severity && strings.Contains(f.Msg, tc.msgPart) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want a %v finding of rule %s containing %q, got findings:\n%v",
+					tc.severity, tc.rule, tc.msgPart, rep.Findings)
+			}
+		})
+	}
+}
+
+func TestCalibrationMinRThreshold(t *testing.T) {
+	doc := validDoc()
+	doc.States[0].Fit = &Fit{Slope: 1, Intercept: 0, R: 0.4}
+	opts := DefaultOptions()
+	opts.MinR = 0.7
+	rep := Run(doc, opts)
+	if len(findingsOf(rep, "calibration")) == 0 {
+		t.Fatalf("|R| below MinR not flagged: %v", rep.Findings)
+	}
+	opts.MinR = 0
+	if rep := Run(doc, opts); len(findingsOf(rep, "calibration")) != 0 {
+		t.Fatalf("MinR=0 must skip the threshold check, got %v", rep.Findings)
+	}
+}
+
+func TestMinSeverityFilter(t *testing.T) {
+	doc := validDoc()
+	doc.Transitions = doc.Transitions[:1] // absorbing state → Info finding
+	opts := DefaultOptions()
+	opts.MinSeverity = Warn
+	rep := Run(doc, opts)
+	for _, f := range rep.Findings {
+		if f.Severity < Warn {
+			t.Fatalf("info finding survived the severity filter: %v", f)
+		}
+	}
+}
+
+func TestReportSortDeterministic(t *testing.T) {
+	doc := validDoc()
+	doc.States[0].Sigma = -1
+	doc.Transitions[0].To = 9
+	a := Run(doc, DefaultOptions())
+	b := Run(doc, DefaultOptions())
+	if len(a.Findings) != len(b.Findings) {
+		t.Fatalf("nondeterministic finding count: %d vs %d", len(a.Findings), len(b.Findings))
+	}
+	for i := range a.Findings {
+		if a.Findings[i] != b.Findings[i] {
+			t.Fatalf("finding %d differs across runs: %v vs %v", i, a.Findings[i], b.Findings[i])
+		}
+	}
+	if a.Findings[0].Severity != Error {
+		t.Fatalf("errors must sort first, got %v", a.Findings[0])
+	}
+}
+
+// --- chain rules ------------------------------------------------------------
+
+// mkChainState builds a chain state with one single-alternative cascade.
+func mkChainState(id int, phases []psm.Phase, traceIdx, start, stop int) *psm.State {
+	var m stats.Moments
+	for i := start; i <= stop; i++ {
+		m.Add(1.0)
+	}
+	return &psm.State{
+		ID:        id,
+		Alts:      []psm.Alt{{Seq: psm.Sequence{Phases: phases}, Count: 1}},
+		Power:     m,
+		Intervals: []psm.Interval{{Trace: traceIdx, Start: start, Stop: stop}},
+	}
+}
+
+func validChain() *psm.Chain {
+	return &psm.Chain{
+		Trace: 0,
+		States: []*psm.State{
+			mkChainState(0, []psm.Phase{{Prop: 0, Kind: psm.Until}}, 0, 0, 3),
+			mkChainState(1, []psm.Phase{{Prop: 1, Kind: psm.Next}}, 0, 4, 4),
+			mkChainState(2, []psm.Phase{{Prop: 0, Kind: psm.Until}, {Prop: 1, Kind: psm.Next}}, 0, 5, 9),
+		},
+	}
+}
+
+func TestCheckChainValid(t *testing.T) {
+	rep := CheckChain(validChain())
+	if len(rep.Findings) != 0 {
+		t.Fatalf("valid chain produced findings:\n%v", rep.Findings)
+	}
+}
+
+func TestCheckChainViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*psm.Chain)
+		msgPart string
+	}{
+		{
+			name: "until-run-too-short",
+			mutate: func(c *psm.Chain) {
+				c.States[0] = mkChainState(0, []psm.Phase{{Prop: 0, Kind: psm.Until}}, 0, 0, 0)
+				c.States[1] = mkChainState(1, []psm.Phase{{Prop: 1, Kind: psm.Next}}, 0, 1, 1)
+				c.States[2] = mkChainState(2, []psm.Phase{{Prop: 0, Kind: psm.Until}}, 0, 2, 9)
+			},
+			msgPart: "at least 2 instants",
+		},
+		{
+			name: "next-run-too-long",
+			mutate: func(c *psm.Chain) {
+				c.States[1] = mkChainState(1, []psm.Phase{{Prop: 1, Kind: psm.Next}}, 0, 4, 6)
+				c.States[2] = mkChainState(2, []psm.Phase{{Prop: 0, Kind: psm.Until}}, 0, 7, 9)
+			},
+			msgPart: "all-next cascade",
+		},
+		{
+			name: "moments-interval-mismatch",
+			mutate: func(c *psm.Chain) {
+				c.States[0].Power.Add(1.0) // n no longer matches the interval
+			},
+			msgPart: "supporting intervals span",
+		},
+		{
+			name: "interval-gap",
+			mutate: func(c *psm.Chain) {
+				c.States[1].Intervals[0] = psm.Interval{Trace: 0, Start: 5, Stop: 5}
+			},
+			msgPart: "do not abut",
+		},
+		{
+			name: "foreign-trace",
+			mutate: func(c *psm.Chain) {
+				c.States[0].Intervals[0].Trace = 3
+			},
+			msgPart: "references trace",
+		},
+		{
+			name: "multiple-alternatives-before-join",
+			mutate: func(c *psm.Chain) {
+				c.States[0].Alts = append(c.States[0].Alts, c.States[0].Alts[0])
+			},
+			msgPart: "alternatives",
+		},
+		{
+			name: "misnumbered-state",
+			mutate: func(c *psm.Chain) {
+				c.States[2].ID = 7
+			},
+			msgPart: "has id",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := validChain()
+			tc.mutate(c)
+			rep := CheckChain(c)
+			found := false
+			for _, f := range rep.Findings {
+				if f.Severity == Error && strings.Contains(f.Msg, tc.msgPart) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want an error finding containing %q, got:\n%v", tc.msgPart, rep.Findings)
+			}
+		})
+	}
+}
+
+// --- generated pipeline artifacts must verify -------------------------------
+
+func TestFromPSMOnGeneratedModel(t *testing.T) {
+	// A tiny hand-built model mirroring what Join produces.
+	dictStates := []*psm.State{
+		{
+			ID:        0,
+			Alts:      []psm.Alt{{Seq: psm.Sequence{Phases: []psm.Phase{{Prop: 0, Kind: psm.Until}}}, Count: 2}},
+			Power:     stats.MomentsOf([]float64{1, 1.1, 0.9, 1}),
+			Intervals: []psm.Interval{{Trace: 0, Start: 0, Stop: 3}},
+		},
+		{
+			ID:        1,
+			Alts:      []psm.Alt{{Seq: psm.Sequence{Phases: []psm.Phase{{Prop: 1, Kind: psm.Next}}}, Count: 1}},
+			Power:     stats.MomentsOf([]float64{2}),
+			Intervals: []psm.Interval{{Trace: 0, Start: 4, Stop: 4}},
+		},
+	}
+	m := &psm.Model{
+		States: dictStates,
+		Transitions: []psm.Transition{
+			{From: 0, To: 1, Enabling: 1, Count: 2},
+			{From: 1, To: 0, Enabling: 0, Count: 1},
+		},
+		Initials: map[int]int{0: 1},
+	}
+	doc := FromPSM(m, "test")
+	if doc.NumProps != -1 {
+		t.Fatalf("nil dictionary must leave NumProps unknown, got %d", doc.NumProps)
+	}
+	rep := Run(doc, DefaultOptions())
+	if rep.HasErrors() {
+		t.Fatalf("well-formed model failed verification:\n%v", rep.Findings)
+	}
+}
+
+func TestReadJSONRoundTrip(t *testing.T) {
+	const src = `{
+	  "prop_sigs": [1, 2],
+	  "states": [
+	    {"id": 0, "alts": [{"seq": [{"prop": 0, "kind": "U"}], "count": 1}], "mu": 1.0, "sigma": 0.1, "n": 5},
+	    {"id": 1, "alts": [{"seq": [{"prop": 1, "kind": "X"}], "count": 1}], "mu": 2.0, "sigma": 0, "n": 1}
+	  ],
+	  "transitions": [
+	    {"from": 0, "to": 1, "enabling": 1, "count": 3},
+	    {"from": 1, "to": 0, "enabling": 0, "count": 3}
+	  ],
+	  "initials": [{"state": 0, "count": 1}],
+	  "hmm": {"a": [[0,1],[1,0]], "b": [[1,0],[0,1]], "pi": [1,0]}
+	}`
+	doc, err := ReadJSON(strings.NewReader(src), "inline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.NumProps != 2 || len(doc.States) != 2 || doc.HMM == nil {
+		t.Fatalf("document parsed incompletely: %+v", doc)
+	}
+	rep := Run(doc, DefaultOptions())
+	if rep.HasErrors() {
+		t.Fatalf("clean JSON document failed verification:\n%v", rep.Findings)
+	}
+}

@@ -1,0 +1,238 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"psmkit/internal/hmm"
+	"psmkit/internal/psm"
+)
+
+// Model is the checker's source-independent view of a generated PSM (and,
+// optionally, its HMM). It deliberately stores derived scalar attributes
+// (μ, σ, n) instead of moment accumulators so corrupted artifacts — a
+// negative σ in a hand-edited JSON, say — remain representable and
+// detectable.
+type Model struct {
+	// Source labels the artifact in messages (file name or "pipeline").
+	Source string
+	// NumProps is the cardinality of the mined proposition set, or -1
+	// when unknown (proposition ranges are then not checked).
+	NumProps int
+	// PropSigs, when non-nil, holds the atom-truth signature of each
+	// proposition; duplicate signatures violate mutual exclusivity.
+	PropSigs    []uint64
+	States      []State
+	Transitions []Transition
+	// Initials maps state id → number of training chains beginning there.
+	Initials map[int]int
+	// HMM, when non-nil, is the statistical layer to verify.
+	HMM *HMMDoc
+}
+
+// State mirrors psm.State with scalar power attributes.
+type State struct {
+	ID    int
+	Alts  []Alt
+	Mu    float64
+	Sigma float64
+	N     int
+	Fit   *Fit
+}
+
+// Alt is one alternative assertion with its join multiplicity.
+type Alt struct {
+	Seq   []PhaseDoc
+	Count int
+}
+
+// PhaseDoc is one phase of an assertion: proposition Prop under temporal
+// kind "U" (until) or "X" (next).
+type PhaseDoc struct {
+	Prop int
+	Kind string
+}
+
+// key renders the alternative's canonical identity (mirrors
+// psm.Sequence.Key).
+func (a Alt) key() string {
+	s := ""
+	for i, p := range a.Seq {
+		if i > 0 {
+			s += ";"
+		}
+		s += fmt.Sprintf("%d%s", p.Prop, p.Kind)
+	}
+	return s
+}
+
+// Fit mirrors stats.LinearFit.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R         float64
+}
+
+// Transition mirrors psm.Transition.
+type Transition struct {
+	From, To, Enabling, Count int
+}
+
+// HMMDoc carries the λ = (A, B, π) matrices for stochasticity checks.
+type HMMDoc struct {
+	A  [][]float64
+	B  [][]float64
+	Pi []float64
+}
+
+// FromPSM lowers a pipeline model into the checkable document. The mined
+// dictionary, when present, supplies the proposition signatures.
+func FromPSM(m *psm.Model, source string) *Model {
+	doc := &Model{Source: source, NumProps: -1, Initials: map[int]int{}}
+	if m.Dict != nil {
+		snap := m.Dict.Snapshot()
+		doc.PropSigs = snap.PropKeys
+		doc.NumProps = len(snap.PropKeys)
+	}
+	for _, s := range m.States {
+		ds := State{
+			ID:    s.ID,
+			Mu:    s.Power.Mean(),
+			Sigma: s.Power.StdDev(),
+			N:     s.Power.N,
+		}
+		for _, a := range s.Alts {
+			da := Alt{Count: a.Count}
+			for _, p := range a.Seq.Phases {
+				da.Seq = append(da.Seq, PhaseDoc{Prop: p.Prop, Kind: p.Kind.String()})
+			}
+			ds.Alts = append(ds.Alts, da)
+		}
+		if s.Fit != nil {
+			ds.Fit = &Fit{Slope: s.Fit.Slope, Intercept: s.Fit.Intercept, R: s.Fit.R}
+		}
+		doc.States = append(doc.States, ds)
+	}
+	for _, t := range m.Transitions {
+		doc.Transitions = append(doc.Transitions, Transition{
+			From: t.From, To: t.To, Enabling: t.Enabling, Count: t.Count,
+		})
+	}
+	for id, n := range m.Initials {
+		doc.Initials[id] = n
+	}
+	return doc
+}
+
+// AttachHMM lowers the HMM matrices into the document for the
+// stochasticity rules.
+func (m *Model) AttachHMM(h *hmm.HMM) {
+	doc := &HMMDoc{Pi: append([]float64(nil), h.Pi...)}
+	for _, row := range h.A {
+		doc.A = append(doc.A, append([]float64(nil), row...))
+	}
+	for _, row := range h.B {
+		doc.B = append(doc.B, append([]float64(nil), row...))
+	}
+	m.HMM = doc
+}
+
+// --- JSON document ----------------------------------------------------------
+
+// jsonDoc is the on-disk JSON schema psmlint accepts (and the golden-test
+// fixture format). It matches Model field-for-field.
+type jsonDoc struct {
+	NumProps    *int             `json:"num_props,omitempty"`
+	PropSigs    []uint64         `json:"prop_sigs,omitempty"`
+	States      []jsonState      `json:"states"`
+	Transitions []jsonTransition `json:"transitions"`
+	Initials    []jsonInitial    `json:"initials"`
+	HMM         *jsonHMM         `json:"hmm,omitempty"`
+}
+
+type jsonState struct {
+	ID    int       `json:"id"`
+	Alts  []jsonAlt `json:"alts"`
+	Mu    float64   `json:"mu"`
+	Sigma float64   `json:"sigma"`
+	N     int       `json:"n"`
+	Fit   *jsonFit  `json:"fit,omitempty"`
+}
+
+type jsonAlt struct {
+	Seq   []jsonPhase `json:"seq"`
+	Count int         `json:"count"`
+}
+
+type jsonPhase struct {
+	Prop int    `json:"prop"`
+	Kind string `json:"kind"`
+}
+
+type jsonFit struct {
+	Slope     float64 `json:"slope"`
+	Intercept float64 `json:"intercept"`
+	R         float64 `json:"r"`
+}
+
+type jsonTransition struct {
+	From     int `json:"from"`
+	To       int `json:"to"`
+	Enabling int `json:"enabling"`
+	Count    int `json:"count"`
+}
+
+type jsonInitial struct {
+	State int `json:"state"`
+	Count int `json:"count"`
+}
+
+type jsonHMM struct {
+	A  [][]float64 `json:"a"`
+	B  [][]float64 `json:"b"`
+	Pi []float64   `json:"pi"`
+}
+
+// ReadJSON parses a model document in psmlint's JSON schema.
+func ReadJSON(r io.Reader, source string) (*Model, error) {
+	var jd jsonDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jd); err != nil {
+		return nil, fmt.Errorf("check: parsing %s: %w", source, err)
+	}
+	doc := &Model{Source: source, NumProps: -1, Initials: map[int]int{}}
+	switch {
+	case jd.NumProps != nil:
+		doc.NumProps = *jd.NumProps
+	case jd.PropSigs != nil:
+		doc.NumProps = len(jd.PropSigs)
+	}
+	doc.PropSigs = jd.PropSigs
+	for _, js := range jd.States {
+		s := State{ID: js.ID, Mu: js.Mu, Sigma: js.Sigma, N: js.N}
+		for _, ja := range js.Alts {
+			a := Alt{Count: ja.Count}
+			for _, jp := range ja.Seq {
+				a.Seq = append(a.Seq, PhaseDoc{Prop: jp.Prop, Kind: jp.Kind})
+			}
+			s.Alts = append(s.Alts, a)
+		}
+		if js.Fit != nil {
+			s.Fit = &Fit{Slope: js.Fit.Slope, Intercept: js.Fit.Intercept, R: js.Fit.R}
+		}
+		doc.States = append(doc.States, s)
+	}
+	for _, jt := range jd.Transitions {
+		doc.Transitions = append(doc.Transitions, Transition{
+			From: jt.From, To: jt.To, Enabling: jt.Enabling, Count: jt.Count,
+		})
+	}
+	for _, ji := range jd.Initials {
+		doc.Initials[ji.State] += ji.Count
+	}
+	if jd.HMM != nil {
+		doc.HMM = &HMMDoc{A: jd.HMM.A, B: jd.HMM.B, Pi: jd.HMM.Pi}
+	}
+	return doc, nil
+}

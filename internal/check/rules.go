@@ -1,0 +1,373 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// --- props-exclusive --------------------------------------------------------
+
+// propsExclusiveRule verifies the mutual exclusivity of the mined
+// proposition set (Section III-A): each proposition is identified by a
+// distinct atom-truth signature, so exactly one holds per instant. Two
+// propositions sharing a signature would both hold simultaneously.
+type propsExclusiveRule struct{}
+
+func (propsExclusiveRule) ID() string { return "props-exclusive" }
+
+func (propsExclusiveRule) Check(m *Model, opts Options, rep *Report) {
+	if m.PropSigs == nil {
+		return
+	}
+	seen := map[uint64]int{}
+	for i, sig := range m.PropSigs {
+		if j, ok := seen[sig]; ok {
+			rep.addf("props-exclusive", Error, -1, -1, -1,
+				"propositions %d and %d share atom signature %#x: the mined set must be mutually exclusive", j, i, sig)
+			continue
+		}
+		seen[sig] = i
+	}
+}
+
+// --- structure --------------------------------------------------------------
+
+// structureRule verifies the graph's referential integrity: unique state
+// ids, transitions between existing states with in-range enabling
+// propositions and positive counts, non-empty assertion sets, and a
+// non-empty initial distribution.
+type structureRule struct{}
+
+func (structureRule) ID() string { return "structure" }
+
+func (structureRule) Check(m *Model, opts Options, rep *Report) {
+	const rule = "structure"
+	if len(m.States) == 0 {
+		rep.addf(rule, Error, -1, -1, -1, "model has no states")
+		return
+	}
+	ids := map[int]bool{}
+	for _, s := range m.States {
+		if ids[s.ID] {
+			rep.addf(rule, Error, s.ID, -1, -1, "duplicate state id %d", s.ID)
+		}
+		ids[s.ID] = true
+		if len(s.Alts) == 0 {
+			rep.addf(rule, Error, s.ID, -1, -1, "state has no characterizing assertion")
+		}
+		for ai, a := range s.Alts {
+			if len(a.Seq) == 0 {
+				rep.addf(rule, Error, s.ID, -1, -1, "alternative %d has an empty phase sequence", ai)
+			}
+			if a.Count < 1 {
+				rep.addf(rule, Error, s.ID, -1, -1, "alternative %d has non-positive multiplicity %d", ai, a.Count)
+			}
+			for pi, p := range a.Seq {
+				if p.Kind != "U" && p.Kind != "X" {
+					rep.addf(rule, Error, s.ID, -1, -1,
+						"alternative %d phase %d has unknown temporal kind %q (want U or X)", ai, pi, p.Kind)
+				}
+				if p.Prop < 0 || (m.NumProps >= 0 && p.Prop >= m.NumProps) {
+					rep.addf(rule, Error, s.ID, -1, -1,
+						"alternative %d phase %d references proposition %d outside the mined set [0,%d)", ai, pi, p.Prop, m.NumProps)
+				}
+			}
+		}
+	}
+	for _, t := range m.Transitions {
+		if !ids[t.From] || !ids[t.To] {
+			rep.addf(rule, Error, -1, t.From, t.To, "transition references a non-existent state")
+		}
+		if t.Enabling < 0 || (m.NumProps >= 0 && t.Enabling >= m.NumProps) {
+			rep.addf(rule, Error, -1, t.From, t.To,
+				"enabling proposition %d outside the mined set [0,%d)", t.Enabling, m.NumProps)
+		}
+		if t.Count < 1 {
+			rep.addf(rule, Error, -1, t.From, t.To, "non-positive transition count %d", t.Count)
+		}
+	}
+	if len(m.Initials) == 0 {
+		rep.addf(rule, Error, -1, -1, -1, "model has no initial state")
+	}
+	for id, n := range m.Initials {
+		if !ids[id] {
+			rep.addf(rule, Error, id, -1, -1, "initial distribution references non-existent state %d", id)
+		}
+		if n < 1 {
+			rep.addf(rule, Error, id, -1, -1, "non-positive initial multiplicity %d", n)
+		}
+	}
+}
+
+// --- power-attrs ------------------------------------------------------------
+
+// powerAttrsRule verifies the power attributes ⟨μ, σ, n⟩ every state must
+// keep statistically sound through simplify/join's moment pooling and the
+// Welch / one-sample t-test paths: n ≥ 1, μ finite (NaN-free), σ finite
+// and non-negative, and σ = 0 whenever n = 1 (a single observation has no
+// spread).
+type powerAttrsRule struct{}
+
+func (powerAttrsRule) ID() string { return "power-attrs" }
+
+func (powerAttrsRule) Check(m *Model, opts Options, rep *Report) {
+	const rule = "power-attrs"
+	for _, s := range m.States {
+		if s.N < 1 {
+			rep.addf(rule, Error, s.ID, -1, -1, "state has n=%d supporting instants (want >= 1)", s.N)
+		}
+		if !finite(s.Mu) {
+			rep.addf(rule, Error, s.ID, -1, -1, "state mean power is %v (must be finite)", s.Mu)
+		}
+		if !finite(s.Sigma) {
+			rep.addf(rule, Error, s.ID, -1, -1, "state power deviation is %v (must be finite)", s.Sigma)
+		}
+		if s.Sigma < 0 {
+			rep.addf(rule, Error, s.ID, -1, -1, "negative power deviation σ=%v", s.Sigma)
+		}
+		if s.N == 1 && s.Sigma > 0 {
+			rep.addf(rule, Warn, s.ID, -1, -1, "σ=%v with a single supporting instant (expected 0)", s.Sigma)
+		}
+	}
+}
+
+// --- reachability -----------------------------------------------------------
+
+// reachabilityRule verifies that every state is reachable from an initial
+// state — unreachable (dead) states cannot be entered by the tracker and
+// indicate a corrupted join or a truncated file. Absorbing states are
+// reported at Info severity: they are legitimate chain tails but worth
+// knowing about.
+type reachabilityRule struct{}
+
+func (reachabilityRule) ID() string { return "reachability" }
+
+func (reachabilityRule) Check(m *Model, opts Options, rep *Report) {
+	const rule = "reachability"
+	if len(m.States) == 0 {
+		return
+	}
+	succ := map[int][]int{}
+	outdeg := map[int]int{}
+	for _, t := range m.Transitions {
+		succ[t.From] = append(succ[t.From], t.To)
+		outdeg[t.From]++
+	}
+	visited := map[int]bool{}
+	var stack []int
+	for id := range m.Initials {
+		if !visited[id] {
+			visited[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range succ[id] {
+			if !visited[next] {
+				visited[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	for _, s := range m.States {
+		if !visited[s.ID] {
+			rep.addf(rule, Error, s.ID, -1, -1, "state is unreachable from every initial state (dead state)")
+		}
+		if outdeg[s.ID] == 0 {
+			rep.addf(rule, Info, s.ID, -1, -1, "state has no outgoing transitions (absorbing)")
+		}
+	}
+}
+
+// --- nondeterminism ---------------------------------------------------------
+
+// nondeterminismRule reports the non-determinism the join procedure may
+// introduce (Section IV): several transitions leaving one state under the
+// same enabling proposition, and one assertion characterizing several
+// states. Both are admissible — the HMM resolves them — but the reports
+// quantify how much statistical disambiguation the simulation will need.
+type nondeterminismRule struct{}
+
+func (nondeterminismRule) ID() string { return "nondeterminism" }
+
+func (nondeterminismRule) Check(m *Model, opts Options, rep *Report) {
+	const rule = "nondeterminism"
+	type edge struct{ from, enabling int }
+	targets := map[edge][]int{}
+	for _, t := range m.Transitions {
+		k := edge{t.From, t.Enabling}
+		targets[k] = append(targets[k], t.To)
+	}
+	keys := make([]edge, 0, len(targets))
+	for k := range targets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].enabling < keys[j].enabling
+	})
+	for _, k := range keys {
+		if ts := targets[k]; len(ts) > 1 {
+			sort.Ints(ts)
+			rep.addf(rule, Info, k.from, -1, -1,
+				"proposition %d enables %d competing transitions (targets %v): HMM scoring decides", k.enabling, len(ts), ts)
+		}
+	}
+	byAssertion := map[string][]int{}
+	for _, s := range m.States {
+		for _, a := range s.Alts {
+			byAssertion[a.key()] = append(byAssertion[a.key()], s.ID)
+		}
+	}
+	akeys := make([]string, 0, len(byAssertion))
+	for k := range byAssertion {
+		akeys = append(akeys, k)
+	}
+	sort.Strings(akeys)
+	for _, k := range akeys {
+		if ids := byAssertion[k]; len(ids) > 1 {
+			sort.Ints(ids)
+			var ss []string
+			for _, id := range ids {
+				ss = append(ss, fmt.Sprintf("s%d", id))
+			}
+			rep.addf(rule, Info, ids[0], -1, -1,
+				"assertion %q characterizes %d states (%s): observation is ambiguous", k, len(ids), strings.Join(ss, ","))
+		}
+	}
+}
+
+// --- calibration ------------------------------------------------------------
+
+// calibrationRule verifies the Hamming-distance regressions of calibrated
+// data-dependent states (Section IV): slope, intercept and correlation
+// must be finite, |R| must be a valid correlation, and — when the policy
+// threshold is known — the correlation gate must have been honored.
+type calibrationRule struct{}
+
+func (calibrationRule) ID() string { return "calibration" }
+
+func (calibrationRule) Check(m *Model, opts Options, rep *Report) {
+	const rule = "calibration"
+	for _, s := range m.States {
+		f := s.Fit
+		if f == nil {
+			continue
+		}
+		if !finite(f.Slope) || !finite(f.Intercept) {
+			rep.addf(rule, Error, s.ID, -1, -1,
+				"calibration line %v + %v*HD is not finite", f.Intercept, f.Slope)
+		}
+		if !finite(f.R) || math.Abs(f.R) > 1+1e-12 {
+			rep.addf(rule, Error, s.ID, -1, -1, "calibration correlation R=%v is not a valid Pearson r", f.R)
+		} else if opts.MinR > 0 && math.Abs(f.R) < opts.MinR {
+			rep.addf(rule, Error, s.ID, -1, -1,
+				"calibration kept with |R|=%.3f below the policy threshold %.3f", math.Abs(f.R), opts.MinR)
+		}
+	}
+}
+
+// --- hmm-shape --------------------------------------------------------------
+
+// hmmShapeRule verifies the dimensional consistency of λ = (A, B, π)
+// against the model: A is |Q|×|Q|, B has |Q| rows of one common
+// observation arity, and π has |Q| entries.
+type hmmShapeRule struct{}
+
+func (hmmShapeRule) ID() string { return "hmm-shape" }
+
+func (hmmShapeRule) Check(m *Model, opts Options, rep *Report) {
+	const rule = "hmm-shape"
+	h := m.HMM
+	if h == nil {
+		return
+	}
+	n := len(m.States)
+	if len(h.A) != n {
+		rep.addf(rule, Error, -1, -1, -1, "A has %d rows for %d states", len(h.A), n)
+	}
+	for i, row := range h.A {
+		if len(row) != len(h.A) {
+			rep.addf(rule, Error, i, -1, -1, "A row %d has %d columns (want %d)", i, len(row), len(h.A))
+		}
+	}
+	if len(h.B) != n {
+		rep.addf(rule, Error, -1, -1, -1, "B has %d rows for %d states", len(h.B), n)
+	}
+	k := -1
+	for i, row := range h.B {
+		if k < 0 {
+			k = len(row)
+		} else if len(row) != k {
+			rep.addf(rule, Error, i, -1, -1, "B row %d has %d columns (want %d)", i, len(row), k)
+		}
+	}
+	if len(h.Pi) != n {
+		rep.addf(rule, Error, -1, -1, -1, "π has %d entries for %d states", len(h.Pi), n)
+	}
+}
+
+// --- hmm-stochastic ---------------------------------------------------------
+
+// hmmStochasticRule verifies the probabilistic invariants of Section V:
+// every entry of A, B and π is a finite non-negative probability, every
+// non-empty row of A and B sums to 1 (all-zero rows are admitted — they
+// encode absorbing states and resynchronization masking), and π is a
+// probability distribution.
+type hmmStochasticRule struct{}
+
+func (hmmStochasticRule) ID() string { return "hmm-stochastic" }
+
+func (hmmStochasticRule) Check(m *Model, opts Options, rep *Report) {
+	const rule = "hmm-stochastic"
+	h := m.HMM
+	if h == nil {
+		return
+	}
+	tol := opts.tol()
+	checkRows := func(name string, rows [][]float64) {
+		for i, row := range rows {
+			sum := 0.0
+			bad := false
+			for j, x := range row {
+				if !finite(x) || x < 0 {
+					rep.addf(rule, Error, i, -1, -1, "%s[%d][%d] = %v is not a probability", name, i, j, x)
+					bad = true
+				}
+				sum += x
+			}
+			if bad || len(row) == 0 {
+				continue
+			}
+			if sum != 0 && math.Abs(sum-1) > tol {
+				rep.addf(rule, Error, i, -1, -1, "%s row %d sums to %v (want 1 or all-zero)", name, i, sum)
+			}
+		}
+	}
+	checkRows("A", h.A)
+	checkRows("B", h.B)
+	sum := 0.0
+	bad := false
+	for i, x := range h.Pi {
+		if !finite(x) || x < 0 {
+			rep.addf(rule, Error, i, -1, -1, "π[%d] = %v is not a probability", i, x)
+			bad = true
+		}
+		sum += x
+	}
+	if !bad && len(h.Pi) > 0 {
+		if sum == 0 {
+			rep.addf(rule, Error, -1, -1, -1, "π carries no initial mass")
+		} else if math.Abs(sum-1) > tol {
+			rep.addf(rule, Error, -1, -1, -1, "π sums to %v (want 1)", sum)
+		}
+	}
+}

@@ -259,7 +259,7 @@ func (h *HMM) Viterbi(obs []int) []int {
 	for i := 0; i < n; i++ {
 		delta[i] = h.Pi[i] * h.B[i][obs[0]]
 	}
-	if logNormalize(delta) == negInf {
+	if math.IsInf(logNormalize(delta), -1) {
 		return nil
 	}
 	back := make([][]int, len(obs))
@@ -277,7 +277,7 @@ func (h *HMM) Viterbi(obs []int) []int {
 			next[j] = bestP * h.B[j][obs[t]]
 		}
 		delta, next = next, delta
-		if logNormalize(delta) == negInf {
+		if math.IsInf(logNormalize(delta), -1) {
 			return nil
 		}
 	}
@@ -362,7 +362,7 @@ func (h *HMM) BaumWelch(sequences [][]int, maxIter int, tol float64) float64 {
 			}
 			impossible := false
 			for _, s := range scale {
-				if s == negInf {
+				if math.IsInf(s, -1) {
 					impossible = true
 					break
 				}

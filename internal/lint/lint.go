@@ -1,0 +1,363 @@
+// Package lint is the code layer of psmlint: a standard-library-only
+// static analyzer (go/parser, go/ast, go/types — no external deps) with
+// rules tuned to this numeric codebase:
+//
+//	float-eq   naked ==/!= between floating-point expressions
+//	nan-guard  float division whose denominator has no zero guard
+//	err-drop   call statements discarding an error result
+//
+// Packages are loaded and type-checked from source. Imports inside the
+// current module resolve through the module tree; everything else (the
+// standard library) resolves through go/importer's source importer.
+// Type-check errors are tolerated: rules only act on expressions whose
+// types resolved, so partial information degrades to fewer findings, not
+// to false positives.
+//
+// A finding can be suppressed with a directive comment on the same line
+// or the line above:
+//
+//	//psmlint:ignore <rule-id> [reason]
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one code diagnostic.
+type Finding struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Rule is one analysis pass over a type-checked package.
+type Rule interface {
+	// ID is the stable identifier reported in findings and honored by
+	// //psmlint:ignore directives.
+	ID() string
+	// Check appends findings for one package.
+	Check(p *Package) []Finding
+}
+
+// Rules returns every registered code rule.
+func Rules() []Rule {
+	return []Rule{floatEqRule{}, nanGuardRule{}, errDropRule{}}
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Types *types.Package
+}
+
+// Run loads the packages matched by patterns (relative to root, which
+// must lie inside a module) and applies every rule. Findings are sorted
+// by position.
+func Run(root string, patterns []string) ([]Finding, error) {
+	l, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable Go files
+		}
+		sup := newSuppressions(pkg)
+		for _, r := range Rules() {
+			for _, f := range r.Check(pkg) {
+				if !sup.suppressed(r.ID(), f.Pos) {
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return findings, nil
+}
+
+// --- module-aware loader ----------------------------------------------------
+
+type loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.Importer
+	pkgs    map[string]*loadedPkg // keyed by directory
+	byPath  map[string]*types.Package
+	loading map[string]bool
+}
+
+type loadedPkg struct {
+	pkg *Package
+}
+
+func newLoader(root string) (*loader, error) {
+	modRoot, modPath, err := findModule(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*loadedPkg{},
+		byPath:  map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and parses the
+// module path.
+func findModule(dir string) (string, string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+	}
+}
+
+// expand resolves package patterns ("./...", "dir", "dir/...") into
+// package directories, skipping vendor, testdata and hidden trees.
+func (l *loader) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(l.modRoot, pat)
+		}
+		st, err := os.Stat(base)
+		if err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q does not name a directory", pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// module tree, everything else delegates to the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "C" {
+		return nil, fmt.Errorf("lint: cgo is not supported")
+	}
+	if p, ok := l.byPath[path]; ok {
+		return p, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, err := l.loadDir(filepath.Join(l.modRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	p, err := l.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.byPath[path] = p
+	return p, nil
+}
+
+// loadDir parses and type-checks the non-test Go files of one directory.
+// It returns nil (no error) when the directory holds no buildable files.
+func (l *loader) loadDir(dir string) (*Package, error) {
+	dir = filepath.Clean(dir)
+	if cached, ok := l.pkgs[dir]; ok {
+		return cached.pkg, nil
+	}
+	if l.loading[dir] {
+		return nil, fmt.Errorf("lint: import cycle through %s", dir)
+	}
+	l.loading[dir] = true
+	defer delete(l.loading, dir)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.pkgs[dir] = &loadedPkg{}
+		return nil, nil
+	}
+
+	importPath := l.importPath(dir)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // tolerate: rules skip unresolved types
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	pkg := &Package{Path: importPath, Fset: l.fset, Files: files, Info: info, Types: tpkg}
+	l.pkgs[dir] = &loadedPkg{pkg: pkg}
+	if tpkg != nil {
+		l.byPath[importPath] = tpkg
+	}
+	return pkg, nil
+}
+
+// importPath maps a directory under the module root to its import path.
+func (l *loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// --- suppression directives -------------------------------------------------
+
+// suppressions indexes //psmlint:ignore directives by file and line.
+type suppressions struct {
+	fset *token.FileSet
+	// byLine maps file:line to the rule ids ignored there ("all" matches
+	// every rule).
+	byLine map[string][]string
+}
+
+func newSuppressions(p *Package) *suppressions {
+	s := &suppressions{fset: p.Fset, byLine: map[string][]string{}}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//psmlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				rule := "all"
+				if len(fields) > 0 {
+					rule = fields[0]
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				s.byLine[key] = append(s.byLine[key], rule)
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a finding of the rule at pos is silenced by a
+// directive on the same line or the line above.
+func (s *suppressions) suppressed(rule string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		key := fmt.Sprintf("%s:%d", pos.Filename, line)
+		for _, r := range s.byLine[key] {
+			if r == "all" || r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -271,10 +271,17 @@ func candidateAtoms(signals []trace.Signal) []Atom {
 // atoms must meet the support and run-length thresholds. At most MaxAtoms
 // survive (highest support wins, original order preserved).
 func filterAtoms(candidates []Atom, traces []*trace.Functional, cfg Config) []Atom {
+	total := 0
+	for _, ft := range traces {
+		total += ft.Len()
+	}
+	if total == 0 {
+		return nil
+	}
 	var kept []Atom
 	var supports []float64
 	for _, a := range candidates {
-		held, total, changes := 0, 0, 0
+		held, changes := 0, 0
 		everTrue, everFalse := false, false
 		for _, ft := range traces {
 			prev := false
@@ -290,7 +297,6 @@ func filterAtoms(candidates []Atom, traces []*trace.Functional, cfg Config) []At
 					changes++
 				}
 				prev = v
-				total++
 			}
 		}
 		if !everTrue {

@@ -8,13 +8,38 @@ import (
 	"strings"
 )
 
+// sortedStates returns the states ordered by id and sortedTransitions the
+// transitions ordered by (from, to, enabling). Both exports emit in this
+// canonical order so repeated runs — and runs across join-order changes —
+// diff cleanly (psmlint golden tests depend on it).
+func (m *Model) sortedStates() []*State {
+	states := append([]*State(nil), m.States...)
+	sort.SliceStable(states, func(i, j int) bool { return states[i].ID < states[j].ID })
+	return states
+}
+
+func (m *Model) sortedTransitions() []Transition {
+	ts := append([]Transition(nil), m.Transitions...)
+	sort.SliceStable(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Enabling < b.Enabling
+	})
+	return ts
+}
+
 // WriteDOT renders the model as a Graphviz digraph: states labelled with
 // their assertions and power attributes, edges with their enabling
-// propositions.
+// propositions. Emission order is canonical (see sortedStates).
 func (m *Model) WriteDOT(w io.Writer, name string) error {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n", name)
-	for _, s := range m.States {
+	for _, s := range m.sortedStates() {
 		var alts []string
 		for _, a := range s.Alts {
 			alts = append(alts, a.Seq.String(m.Dict))
@@ -30,7 +55,7 @@ func (m *Model) WriteDOT(w io.Writer, name string) error {
 		fmt.Fprintf(&sb, "  s%d [label=\"s%d: %s\\nμ=%.3e σ=%.3e n=%d%s\"%s];\n",
 			s.ID, s.ID, strings.Join(alts, " || "), s.Power.Mean(), s.Power.StdDev(), s.Power.N, fit, shape)
 	}
-	for _, t := range m.Transitions {
+	for _, t := range m.sortedTransitions() {
 		fmt.Fprintf(&sb, "  s%d -> s%d [label=\"%s (x%d)\"];\n",
 			t.From, t.To, m.Dict.PropString(t.Enabling), t.Count)
 	}
@@ -71,10 +96,11 @@ type jsonTransition struct {
 
 // WriteJSON serializes a human-readable summary of the model (state
 // assertions rendered as text; intended for reports and inspection, not
-// for lossless round-tripping).
+// for lossless round-tripping). States and transitions are emitted in
+// canonical sorted order so repeated runs diff cleanly.
 func (m *Model) WriteJSON(w io.Writer) error {
 	jm := jsonModel{Initials: map[string]int{}}
-	for _, s := range m.States {
+	for _, s := range m.sortedStates() {
 		js := jsonState{
 			ID:    s.ID,
 			Mu:    s.Power.Mean(),
@@ -92,7 +118,7 @@ func (m *Model) WriteJSON(w io.Writer) error {
 		}
 		jm.States = append(jm.States, js)
 	}
-	for _, t := range m.Transitions {
+	for _, t := range m.sortedTransitions() {
 		jm.Transitions = append(jm.Transitions, jsonTransition{
 			From: t.From, To: t.To, Enabling: m.Dict.PropString(t.Enabling), Count: t.Count,
 		})

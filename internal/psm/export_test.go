@@ -1,0 +1,124 @@
+package psm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"psmkit/internal/mining"
+	"psmkit/internal/stats"
+	"psmkit/internal/trace"
+)
+
+// scrambled returns the same model with states and transitions in a
+// different in-memory order — as a join-order change would produce.
+func scrambled(m *Model) *Model {
+	out := &Model{Dict: m.Dict, Initials: m.Initials}
+	for i := len(m.States) - 1; i >= 0; i-- {
+		out.States = append(out.States, m.States[i])
+	}
+	for i := len(m.Transitions) - 1; i >= 0; i-- {
+		out.Transitions = append(out.Transitions, m.Transitions[i])
+	}
+	return out
+}
+
+func exportFixture() *Model {
+	dict := mining.FromSnapshot(mining.Snapshot{
+		Signals: []trace.Signal{{Name: "v1", Width: 1}, {Name: "v2", Width: 1}},
+		Atoms: []mining.Atom{
+			{Kind: mining.AtomTrue, A: 0},
+			{Kind: mining.AtomFalse, A: 0},
+			{Kind: mining.AtomTrue, A: 1},
+		},
+		PropKeys: []uint64{1, 2, 4},
+	})
+	return &Model{
+		Dict: dict,
+		States: []*State{
+			{ID: 1, Alts: []Alt{{Seq: Sequence{Phases: []Phase{{Prop: 1, Kind: Next}}}, Count: 1}},
+				Power: stats.MomentsOf([]float64{2})},
+			{ID: 0, Alts: []Alt{{Seq: Sequence{Phases: []Phase{{Prop: 0, Kind: Until}}}, Count: 2}},
+				Power: stats.MomentsOf([]float64{1, 1.2})},
+			{ID: 2, Alts: []Alt{{Seq: Sequence{Phases: []Phase{{Prop: 2, Kind: Until}}}, Count: 1}},
+				Power: stats.MomentsOf([]float64{3, 3.1})},
+		},
+		Transitions: []Transition{
+			{From: 2, To: 0, Enabling: 0, Count: 1},
+			{From: 0, To: 2, Enabling: 2, Count: 1},
+			{From: 0, To: 1, Enabling: 1, Count: 2},
+			{From: 1, To: 0, Enabling: 0, Count: 2},
+		},
+		Initials: map[int]int{0: 1},
+	}
+}
+
+func TestExportsAreOrderIndependent(t *testing.T) {
+	a, b := exportFixture(), scrambled(exportFixture())
+
+	var aj, bj bytes.Buffer
+	if err := a.WriteJSON(&aj); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bj); err != nil {
+		t.Fatal(err)
+	}
+	if aj.String() != bj.String() {
+		t.Errorf("WriteJSON depends on in-memory order:\n--- sorted input ---\n%s--- scrambled input ---\n%s",
+			aj.String(), bj.String())
+	}
+
+	var ad, bd bytes.Buffer
+	if err := a.WriteDOT(&ad, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteDOT(&bd, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if ad.String() != bd.String() {
+		t.Errorf("WriteDOT depends on in-memory order:\n--- sorted input ---\n%s--- scrambled input ---\n%s",
+			ad.String(), bd.String())
+	}
+}
+
+func TestExportsLeaveModelUntouched(t *testing.T) {
+	m := scrambled(exportFixture())
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteDOT(&buf, "m"); err != nil {
+		t.Fatal(err)
+	}
+	// Emission sorts a copy; the caller's slices keep their order.
+	if m.States[0].ID != 2 || m.Transitions[0].From != 1 {
+		t.Errorf("export reordered the model in place: first state %d, first transition from %d",
+			m.States[0].ID, m.Transitions[0].From)
+	}
+}
+
+func TestMergeableDegenerateWelch(t *testing.T) {
+	p := DefaultMergePolicy()
+
+	// Both until-samples constant: the Welch statistic is undefined, the
+	// verdict must fall back to the deterministic mean comparison.
+	same := stats.MomentsOf([]float64{5, 5, 5})
+	alsoSame := stats.MomentsOf([]float64{5, 5, 5, 5})
+	if !p.Mergeable(same, alsoSame) {
+		t.Error("two constant samples with equal means must merge")
+	}
+	far := stats.MomentsOf([]float64{9, 9, 9})
+	if p.Mergeable(same, far) {
+		t.Error("two constant samples with distant means must not merge")
+	}
+
+	// Poisoned accumulators must never merge, in either position.
+	nan := stats.Moments{N: 3, Sum: math.NaN(), SumSq: 1}
+	inf := stats.Moments{N: 3, Sum: 3, SumSq: math.Inf(1)}
+	ok := stats.MomentsOf([]float64{1, 1.1, 0.9})
+	for _, bad := range []stats.Moments{nan, inf} {
+		if p.Mergeable(bad, ok) || p.Mergeable(ok, bad) {
+			t.Errorf("non-finite moments %+v must never be mergeable", bad)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package psm
 
 import (
+	"math"
+
 	"psmkit/internal/stats"
 )
 
@@ -50,6 +52,12 @@ func (p MergePolicy) Mergeable(a, b stats.Moments) bool {
 	if a.N == 0 || b.N == 0 {
 		return false
 	}
+	// Corrupted attributes (NaN/Inf from a poisoned power trace) must
+	// never merge — and must not reach the t-tests, whose NaN comparisons
+	// would silently decide either way.
+	if !momentsFinite(a) || !momentsFinite(b) {
+		return false
+	}
 	switch {
 	case a.N == 1 && b.N == 1:
 		// Case 1: two next-states; designer tolerance on the means.
@@ -59,6 +67,12 @@ func (p MergePolicy) Mergeable(a, b stats.Moments) bool {
 		// Case 2: two until-states; Welch's t-test plus the low-σ guard.
 		if p.MaxCV > 0 && (a.CoefficientOfVariation() > p.MaxCV || b.CoefficientOfVariation() > p.MaxCV) {
 			return false
+		}
+		if a.Variance() == 0 && b.Variance() == 0 {
+			// Degenerate Welch: both samples are constant, the statistic
+			// is 0/0 or ±Inf. Decide deterministically on the means with
+			// the designer tolerance, like two next-states.
+			return relDiff(a.Mean(), b.Mean()) <= p.Epsilon
 		}
 		if relDiff(a.Mean(), b.Mean()) <= p.EquivalenceMargin {
 			return true
@@ -87,6 +101,13 @@ func (p MergePolicy) Mergeable(a, b stats.Moments) bool {
 		}
 		return res.P >= p.Alpha
 	}
+}
+
+// momentsFinite reports whether the accumulator's sums are finite (its
+// derived mean and variance then are too).
+func momentsFinite(m stats.Moments) bool {
+	return !math.IsNaN(m.Sum) && !math.IsInf(m.Sum, 0) &&
+		!math.IsNaN(m.SumSq) && !math.IsInf(m.SumSq, 0)
 }
 
 func relDiff(a, b float64) float64 {

@@ -151,7 +151,7 @@ func betaCF(a, b, x float64) float64 {
 	)
 	qab, qap, qam := a+b, a+1, a-1
 	c := 1.0
-	d := 1 - qab*x/qap
+	d := 1 - qab*x/qap //psmlint:ignore nan-guard qap = a+1 >= 1 for every t-test caller
 	if math.Abs(d) < fpMin {
 		d = fpMin
 	}
@@ -259,8 +259,14 @@ func WelchTTest(a, b Moments) (TTestResult, error) {
 		return TTestResult{T: math.Inf(sign(diff)), DF: na + nb - 2, P: 0}, nil
 	}
 	t := diff / math.Sqrt(se2)
-	// Welch–Satterthwaite degrees of freedom.
-	df := se2 * se2 / (va*va/(na*na*(na-1)) + vb*vb/(nb*nb*(nb-1)))
+	// Welch–Satterthwaite degrees of freedom. With near-denormal
+	// variances the denominator can underflow to 0 while se2 does not;
+	// fall back to the pooled df instead of propagating Inf/NaN into the
+	// t distribution.
+	df := na + nb - 2
+	if den := va*va/(na*na*(na-1)) + vb*vb/(nb*nb*(nb-1)); den > 0 {
+		df = se2 * se2 / den
+	}
 	if df < 1 {
 		df = 1
 	}
