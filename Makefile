@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fmt vet lint verify ci
+.PHONY: build test race fmt vet lint verify fuzz ci
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+	# Concurrency layer under load: GOMAXPROCS>1 so the pools really
+	# interleave even on single-core CI runners (the equivalence and
+	# property tests inside force worker counts > 1).
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/pipeline ./internal/mining ./internal/experiment
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -37,5 +41,13 @@ verify:
 		echo "cmd/psmlint/testdata/corrupt.json: rejected as expected"; \
 	fi
 
-ci: fmt vet build race lint verify
+# Short fuzz smoke: run each native fuzz target for a few seconds on top
+# of its committed seed corpus (testdata/fuzz/). Longer sessions: raise
+# FUZZTIME or run `go test -fuzz` by hand.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzVCDParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/check -run '^$$' -fuzz FuzzModelJSON -fuzztime $(FUZZTIME)
+
+ci: fmt vet build race lint verify fuzz
 	@echo "ci: all gates passed"

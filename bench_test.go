@@ -12,7 +12,9 @@ package psmkit
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
+	"time"
 
 	"psmkit/internal/dpm"
 	"psmkit/internal/experiment"
@@ -243,6 +245,67 @@ func BenchmarkPSMGeneration(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkParallelPSMGeneration is BenchmarkPSMGeneration through the
+// parallel pipeline (internal/pipeline) at the default worker count. The
+// speedup_x metric is the sequential generation time divided by the
+// parallel per-op time — on a single-core runner it hovers around 1.0
+// (the pool degrades to the sequential flow); on a 4-core machine the
+// per-trace stages scale with the trace-piece count.
+func BenchmarkParallelPSMGeneration(b *testing.B) {
+	for _, c := range experiment.Cases() {
+		ts, err := experiment.GenerateTraces(c, c.ShortTS, experiment.Pieces,
+			testbench.Options{Seed: c.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name, func(b *testing.B) {
+			seqStart := time.Now()
+			if _, err := experiment.BuildModel(ts, experiment.DefaultPolicies()); err != nil {
+				b.Fatal(err)
+			}
+			seqSecs := time.Since(seqStart).Seconds()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.BuildModelParallel(ts, experiment.DefaultPolicies(), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			parSecs := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(seqSecs/parSecs, "speedup_x")
+			b.ReportMetric(float64(experiment.RowWorkers()), "workers")
+		})
+	}
+}
+
+// BenchmarkParallelWorkerSweep sweeps the -j worker count on the AES
+// generation pipeline, reporting each point's speedup over the measured
+// sequential baseline. The generated model is bit-identical at every
+// point (the equivalence and property suites in internal/pipeline pin
+// that), so the sweep isolates pure scheduling cost/benefit.
+func BenchmarkParallelWorkerSweep(b *testing.B) {
+	c, _ := experiment.CaseByName("AES")
+	ts, err := experiment.GenerateTraces(c, c.ShortTS, experiment.Pieces,
+		testbench.Options{Seed: c.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqStart := time.Now()
+	if _, err := experiment.BuildModel(ts, experiment.DefaultPolicies()); err != nil {
+		b.Fatal(err)
+	}
+	seqSecs := time.Since(seqStart).Seconds()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.BuildModelParallel(ts, experiment.DefaultPolicies(), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(seqSecs/(b.Elapsed().Seconds()/float64(b.N)), "speedup_x")
 		})
 	}
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psmkit/internal/mining"
+	"psmkit/internal/psm"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// TestGoldenOutputs runs the full psmgen flow on the fixed RAM training
+// pair and compares the DOT and JSON renderings byte-for-byte against
+// the committed golden files. The exporters emit sorted, deterministic
+// output, so any drift here is a real behaviour change; regenerate with
+//
+//	go test ./cmd/psmgen -run TestGoldenOutputs -update
+func TestGoldenOutputs(t *testing.T) {
+	dir := t.TempDir()
+	fp, pp := writeTraces(t, dir)
+	dot := filepath.Join(dir, "m.dot")
+	jsonOut := filepath.Join(dir, "m.json")
+
+	err := run(fp, pp, "addr,en,we,wdata", filepath.Join(dir, "m.psm"), dot, jsonOut,
+		mining.DefaultConfig(), psm.DefaultMergePolicy(), psm.DefaultCalibrationPolicy(), true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name, path string
+	}{
+		{"model.dot", dot},
+		{"model.json", jsonOut},
+	} {
+		got, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := filepath.Join("testdata", "golden", tc.name)
+		if *update {
+			if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create the golden files)", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s differs from golden file %s (rerun with -update if the change is intended)", tc.name, golden)
+		}
+	}
+}

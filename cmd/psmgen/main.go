@@ -6,23 +6,28 @@
 // Usage:
 //
 //	psmgen -func a.func.csv,b.func.csv -power a.power.csv,b.power.csv \
-//	       -inputs en,we,addr,wdata -out model.psm [-dot model.dot] [-json model.json]
+//	       -inputs en,we,addr,wdata -out model.psm [-dot model.dot] [-json model.json] [-j N]
 //
 // Every functional trace needs its power trace in the same position; the
 // -inputs list names the primary-input signals (used by the calibration
-// regression).
+// regression). -j bounds the worker goroutines of the parallel pipeline
+// (default: all processors); the generated model is bit-identical for
+// every -j value, so the flag only changes wall time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"psmkit/internal/check"
 	"psmkit/internal/hmm"
 	"psmkit/internal/mining"
+	"psmkit/internal/pipeline"
 	"psmkit/internal/powersim"
 	"psmkit/internal/psm"
 	"psmkit/internal/trace"
@@ -42,13 +47,14 @@ func main() {
 	maxCV := flag.Float64("max-cv", psm.DefaultCalibrationPolicy().MaxCV, "calibrate: CV threshold for data-dependent states")
 	minR := flag.Float64("min-r", psm.DefaultCalibrationPolicy().MinR, "calibrate: minimum |Pearson r|")
 	doCheck := flag.Bool("check", true, "verify chains, model and HMM against the paper invariants before writing")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the parallel pipeline (1 = sequential; output is identical for any value)")
 	flag.Parse()
 
 	if err := run(*funcs, *powers, *inputs, *out, *dot, *jsonOut,
 		mining.Config{MinSupport: *minSupport, MinRunLength: *minRun},
 		psm.MergePolicy{Epsilon: *epsilon, Alpha: *alpha, EquivalenceMargin: psm.DefaultMergePolicy().EquivalenceMargin},
 		psm.CalibrationPolicy{MaxCV: *maxCV, MinR: *minR},
-		*doCheck,
+		*doCheck, *jobs,
 	); err != nil {
 		fmt.Fprintln(os.Stderr, "psmgen:", err)
 		os.Exit(1)
@@ -56,7 +62,7 @@ func main() {
 }
 
 func run(funcs, powers, inputs, out, dot, jsonOut string,
-	mcfg mining.Config, merge psm.MergePolicy, cal psm.CalibrationPolicy, doCheck bool) error {
+	mcfg mining.Config, merge psm.MergePolicy, cal psm.CalibrationPolicy, doCheck bool, jobs int) error {
 
 	funcFiles := split(funcs)
 	powerFiles := split(powers)
@@ -65,9 +71,12 @@ func run(funcs, powers, inputs, out, dot, jsonOut string,
 			len(funcFiles), len(powerFiles))
 	}
 
-	var fts []*trace.Functional
-	var pws []*trace.Power
-	for i := range funcFiles {
+	ctx := context.Background()
+
+	// Trace pairs parse independently; fan the I/O out too.
+	fts := make([]*trace.Functional, len(funcFiles))
+	pws := make([]*trace.Power, len(funcFiles))
+	err := pipeline.ForEach(ctx, jobs, len(funcFiles), func(_ context.Context, i int) error {
 		ft, err := readFunc(funcFiles[i])
 		if err != nil {
 			return err
@@ -79,23 +88,22 @@ func run(funcs, powers, inputs, out, dot, jsonOut string,
 		if pw.Len() < ft.Len() {
 			return fmt.Errorf("%s: power trace shorter than functional trace", powerFiles[i])
 		}
-		fts = append(fts, ft)
-		pws = append(pws, pw)
-	}
-
-	dict, pts, err := mining.Mine(fts, mcfg)
+		fts[i], pws[i] = ft, pw
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	var chains []*psm.Chain
-	for i, pt := range pts {
-		c, err := psm.Generate(dict, pt, pws[i], i)
-		if err != nil {
-			return fmt.Errorf("%s: %w", funcFiles[i], err)
-		}
-		chains = append(chains, psm.Simplify(c, merge))
+
+	cfg := pipeline.Config{Workers: jobs, Mining: mcfg, Merge: merge, Calibration: cal}
+	chains, err := pipeline.BuildChains(ctx, fts, pws, cfg)
+	if err != nil {
+		return err
 	}
-	model := psm.Join(chains, merge)
+	model, err := pipeline.TreeJoin(ctx, chains, merge, jobs)
+	if err != nil {
+		return err
+	}
 
 	var inputCols []int
 	for _, name := range split(inputs) {

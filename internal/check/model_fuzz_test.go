@@ -1,0 +1,57 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+const fuzzSeedModel = `{
+  "num_props": 2,
+  "prop_sigs": [1, 2],
+  "states": [
+    {"id": 0, "alts": [{"seq": [{"prop": 0, "kind": "U"}], "count": 2}],
+     "mu": 1.5, "sigma": 0.2, "n": 40,
+     "fit": {"slope": 0.3, "intercept": 1.1, "r": 0.95}},
+    {"id": 1, "alts": [{"seq": [{"prop": 1, "kind": "U"}, {"prop": 0, "kind": "X"}], "count": 1}],
+     "mu": 3.0, "sigma": 0.4, "n": 25}
+  ],
+  "transitions": [
+    {"from": 0, "to": 1, "enabling": 1, "count": 10},
+    {"from": 1, "to": 0, "enabling": 0, "count": 9}
+  ],
+  "initials": [{"state": 0, "count": 2}],
+  "hmm": {"a": [[0.5, 0.5], [0.9, 0.1]], "b": [[1, 0], [0, 1]], "pi": [1, 0]}
+}`
+
+// FuzzModelJSON feeds arbitrary bytes to the psmlint JSON reader and,
+// when a document parses, runs the full verifier over it. Corrupted or
+// adversarial model files must surface as parse errors or findings —
+// never as a panic in ReadJSON or Run.
+func FuzzModelJSON(f *testing.F) {
+	f.Add([]byte(fuzzSeedModel))
+	f.Add([]byte(`{"states": [], "transitions": [], "initials": []}`))
+	f.Add([]byte(`{"states": [{"id": 0, "mu": -1, "sigma": -5, "n": 0}], "transitions": [{"from": 0, "to": 7, "enabling": -1, "count": 0}], "initials": []}`))
+	f.Add([]byte(`{"num_props": 1, "hmm": {"a": [[2]], "b": [], "pi": [0.5, 0.5]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		doc, err := ReadJSON(strings.NewReader(string(data)), "fuzz")
+		if err != nil {
+			return
+		}
+		if doc.Initials == nil {
+			t.Fatal("ReadJSON returned nil Initials map")
+		}
+		rep := Run(doc, DefaultOptions())
+		if rep == nil {
+			t.Fatal("Run returned nil report")
+		}
+		// The report must be internally consistent: HasErrors agrees with
+		// the per-severity count.
+		if rep.HasErrors() != (rep.Count(Error) > 0) {
+			t.Fatal("report error flag disagrees with error count")
+		}
+	})
+}

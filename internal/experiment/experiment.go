@@ -267,17 +267,12 @@ func TableIIFor(c IPCase, long bool, scale float64, pol Policies) (TableIIRow, e
 	}, nil
 }
 
-// TableII runs the generation experiment for every IP.
+// TableII runs the generation experiment for every IP, one row per
+// worker (RowWorkers documents the timing-column caveat).
 func TableII(long bool, scale float64, pol Policies) ([]TableIIRow, error) {
-	var rows []TableIIRow
-	for _, c := range Cases() {
-		r, err := TableIIFor(c, long, scale, pol)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.Name, err)
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+	return tableRows(RowWorkers(), func(c IPCase) (TableIIRow, error) {
+		return TableIIFor(c, long, scale, pol)
+	})
 }
 
 // --- Table III -----------------------------------------------------------------
@@ -383,17 +378,12 @@ func TableIIIFor(c IPCase, scale float64, pol Policies) (TableIIIRow, error) {
 	return row, nil
 }
 
-// TableIII runs the cross-validation experiment for every IP.
+// TableIII runs the cross-validation experiment for every IP, one row
+// per worker (RowWorkers documents the timing-column caveat).
 func TableIII(scale float64, pol Policies) ([]TableIIIRow, error) {
-	var rows []TableIIIRow
-	for _, c := range Cases() {
-		r, err := TableIIIFor(c, scale, pol)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.Name, err)
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+	return tableRows(RowWorkers(), func(c IPCase) (TableIIIRow, error) {
+		return TableIIIFor(c, scale, pol)
+	})
 }
 
 // timeFunctional simulates the IP for n cycles and returns the wall time.

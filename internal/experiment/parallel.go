@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"psmkit/internal/pipeline"
+)
+
+// RowWorkers is the worker budget for per-IP experiment rows: one worker
+// per processor. Each row owns its cores, simulator, estimator and PSM
+// tracker, so rows share nothing mutable and scale independently.
+//
+// Note that the *timing columns* of a row (PX, IP sim, IP+PSM) measure
+// wall time: on a loaded machine, concurrent rows contend and inflate
+// each other's timings. The states/transitions/MRE/WSP columns are
+// unaffected — the flow itself is deterministic. Record publication
+// timings with GOMAXPROCS=1 (see EXPERIMENTS.md).
+func RowWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// BuildModelParallel is BuildModel with the per-trace stages fanned out
+// over the pipeline worker pool. The generated model is bit-identical to
+// the sequential BuildModel for any worker count; only GenTime differs.
+// workers ≤ 0 selects GOMAXPROCS.
+func BuildModelParallel(ts *TraceSet, pol Policies, workers int) (*Flow, error) {
+	start := time.Now()
+	cfg := pipeline.Config{
+		Workers:         workers,
+		Mining:          pol.Mining,
+		Merge:           pol.Merge,
+		Calibration:     pol.Calibration,
+		SkipCalibration: pol.SkipCalibration,
+	}
+	model, err := pipeline.BuildModel(context.Background(), ts.FTs, ts.PWs, ts.InputCols, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Flow{Model: model, GenTime: time.Since(start)}, nil
+}
+
+// tableRows fans one row-builder per benchmark IP out over the pool,
+// keeping the rows in Cases() order.
+func tableRows[R any](workers int, build func(IPCase) (R, error)) ([]R, error) {
+	cases := Cases()
+	rows := make([]R, len(cases))
+	err := pipeline.ForEach(context.Background(), workers, len(cases), func(_ context.Context, i int) error {
+		r, err := build(cases[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", cases[i].Name, err)
+		}
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

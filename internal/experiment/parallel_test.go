@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"psmkit/internal/testbench"
+)
+
+// TestBuildModelParallelMatchesSequential pins the experiment-layer
+// wrapper: same traces, same policies, byte-identical exports.
+func TestBuildModelParallelMatchesSequential(t *testing.T) {
+	c, err := CaseByName("MultSum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := GenerateTraces(c, 1600, Pieces, testbench.Options{Seed: c.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := DefaultPolicies()
+	seq, err := BuildModel(ts, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		par, err := BuildModelParallel(ts, pol, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var a, b bytes.Buffer
+		if err := seq.Model.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Model.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("workers=%d: parallel model differs from sequential", workers)
+		}
+	}
+}
+
+// TestTableRowsOrderAndErrors checks the row fan-out keeps Cases() order
+// and propagates a row failure with the IP name attached.
+func TestTableRowsOrderAndErrors(t *testing.T) {
+	names, err := tableRows(4, func(c IPCase) (string, error) { return c.Name, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range Cases() {
+		if names[i] != c.Name {
+			t.Errorf("row %d = %s, want %s", i, names[i], c.Name)
+		}
+	}
+
+	_, err = tableRows(4, func(c IPCase) (string, error) {
+		if c.Name == "AES" {
+			return "", errTest
+		}
+		return c.Name, nil
+	})
+	if err == nil || err.Error() != "AES: synthetic failure" {
+		t.Errorf("err = %v, want AES-labelled failure", err)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "synthetic failure" }

@@ -146,7 +146,10 @@ func (d *Dictionary) signature(row []logic.Vector) uint64 {
 	return bits
 }
 
-// EvalRow maps a valuation to its proposition id, or Unknown.
+// EvalRow maps a valuation to its proposition id, or Unknown. It
+// allocates nothing and, once mining has returned (the index is never
+// written afterwards), is safe for any number of concurrent readers —
+// the parallel experiment rows and the SoC co-simulation rely on this.
 func (d *Dictionary) EvalRow(row []logic.Vector) int {
 	if id, ok := d.index[d.signature(row)]; ok {
 		return id
@@ -155,6 +158,9 @@ func (d *Dictionary) EvalRow(row []logic.Vector) int {
 }
 
 // intern returns the proposition id for a signature, creating it if new.
+// It is single-writer by design: only the mining goroutine calls it
+// (MineParallel precomputes signatures concurrently, then replays them
+// here sequentially), which is what keeps EvalRow lock-free.
 func (d *Dictionary) intern(sig uint64) int {
 	if id, ok := d.index[sig]; ok {
 		return id
@@ -194,22 +200,32 @@ type PropTrace struct {
 // Len returns the number of instants.
 func (p *PropTrace) Len() int { return len(p.IDs) }
 
-// Mine builds the proposition dictionary over a set of functional traces
-// of the same model and rewrites each trace as a proposition trace.
-// All traces must share the same signal schema.
-func Mine(traces []*trace.Functional, cfg Config) (*Dictionary, []*PropTrace, error) {
+// validateTraces checks the schema/emptiness preconditions shared by the
+// sequential and parallel miners and returns the total instant count.
+func validateTraces(traces []*trace.Functional) (int, error) {
 	if len(traces) == 0 {
-		return nil, nil, fmt.Errorf("mining: no traces")
+		return 0, fmt.Errorf("mining: no traces")
 	}
 	total := 0
 	for i, ft := range traces {
 		if !traces[0].SameSchema(ft) {
-			return nil, nil, fmt.Errorf("mining: trace %d has a different signal schema", i)
+			return 0, fmt.Errorf("mining: trace %d has a different signal schema", i)
 		}
 		if ft.Len() == 0 {
-			return nil, nil, fmt.Errorf("mining: trace %d is empty", i)
+			return 0, fmt.Errorf("mining: trace %d is empty", i)
 		}
 		total += ft.Len()
+	}
+	return total, nil
+}
+
+// Mine builds the proposition dictionary over a set of functional traces
+// of the same model and rewrites each trace as a proposition trace.
+// All traces must share the same signal schema.
+func Mine(traces []*trace.Functional, cfg Config) (*Dictionary, []*PropTrace, error) {
+	total, err := validateTraces(traces)
+	if err != nil {
+		return nil, nil, err
 	}
 	signals := traces[0].Signals
 
@@ -266,6 +282,39 @@ func candidateAtoms(signals []trace.Signal) []Atom {
 	return atoms
 }
 
+// atomStats accumulates the truth statistics of one candidate atom over
+// the training traces. All fields are exact integer counts, so partial
+// statistics computed per trace (or per atom, on different workers)
+// combine into exactly the numbers a single sequential scan produces.
+type atomStats struct {
+	held, changes       int
+	everTrue, everFalse bool
+}
+
+// statsFor scans every trace once and returns the atom's statistics. It
+// reads only immutable trace storage and is safe to call concurrently for
+// different (or the same) atoms.
+func statsFor(a Atom, traces []*trace.Functional) atomStats {
+	var st atomStats
+	for _, ft := range traces {
+		prev := false
+		for t := 0; t < ft.Len(); t++ {
+			v := a.Eval(ft.Row(t))
+			if v {
+				st.held++
+				st.everTrue = true
+			} else {
+				st.everFalse = true
+			}
+			if t > 0 && v != prev {
+				st.changes++
+			}
+			prev = v
+		}
+	}
+	return st
+}
+
 // filterAtoms keeps the atoms that hold frequently and stably. Single-bit
 // polarity atoms are kept whenever they hold at least once; multi-bit
 // atoms must meet the support and run-length thresholds. At most MaxAtoms
@@ -275,41 +324,36 @@ func filterAtoms(candidates []Atom, traces []*trace.Functional, cfg Config) []At
 	for _, ft := range traces {
 		total += ft.Len()
 	}
+	stats := make([]atomStats, len(candidates))
+	for i, a := range candidates {
+		stats[i] = statsFor(a, traces)
+	}
+	return selectAtoms(candidates, stats, total, cfg)
+}
+
+// selectAtoms applies the support/stability thresholds and the MaxAtoms
+// cap to precomputed statistics. The decision per atom depends only on
+// that atom's stats, so the sequential and parallel miners share this
+// exact code path and keep byte-identical dictionaries.
+func selectAtoms(candidates []Atom, stats []atomStats, total int, cfg Config) []Atom {
 	if total == 0 {
 		return nil
 	}
 	var kept []Atom
 	var supports []float64
-	for _, a := range candidates {
-		held, changes := 0, 0
-		everTrue, everFalse := false, false
-		for _, ft := range traces {
-			prev := false
-			for t := 0; t < ft.Len(); t++ {
-				v := a.Eval(ft.Row(t))
-				if v {
-					held++
-					everTrue = true
-				} else {
-					everFalse = true
-				}
-				if t > 0 && v != prev {
-					changes++
-				}
-				prev = v
-			}
-		}
-		if !everTrue {
+	for ci, a := range candidates {
+		st := stats[ci]
+		if !st.everTrue {
 			continue // never holds: carries no information
 		}
-		support := float64(held) / float64(total)
+		support := float64(st.held) / float64(total)
 		wide := a.Kind != AtomTrue && a.Kind != AtomFalse
 		if wide {
 			if support < cfg.MinSupport {
 				continue
 			}
-			if everFalse { // constant atoms have no run structure to test
-				avgRun := float64(total) / float64(changes+1)
+			if st.everFalse { // constant atoms have no run structure to test
+				avgRun := float64(total) / float64(st.changes+1)
 				if avgRun < cfg.MinRunLength {
 					continue
 				}

@@ -1,0 +1,124 @@
+package mining
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"psmkit/internal/trace"
+)
+
+// MineParallel is Mine with the two trace-independent hot loops fanned
+// out over a bounded worker pool: the per-atom truth statistics of the
+// filtering phase and the per-instant signature computation of the
+// rewriting phase. The result is byte-identical to Mine:
+//
+//   - atom statistics are exact integer counts and each atom is scanned
+//     by exactly one worker, so the filtering decisions cannot drift;
+//   - signatures are precomputed into per-trace scratch buffers without
+//     touching the Dictionary, then replayed through intern sequentially
+//     in trace order, so every proposition gets the id the sequential
+//     miner would have assigned at its first occurrence.
+//
+// The sequential replay is also the interning strategy that keeps the
+// signature index safe under concurrency: intern runs on a single
+// goroutine only, and once MineParallel (or Mine) returns, the index is
+// never written again — EvalRow is then safe for any number of
+// concurrent readers.
+//
+// workers ≤ 0 selects GOMAXPROCS. Cancelling ctx aborts the scan and
+// returns ctx.Err().
+func MineParallel(ctx context.Context, traces []*trace.Functional, cfg Config, workers int) (*Dictionary, []*PropTrace, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total, err := validateTraces(traces)
+	if err != nil {
+		return nil, nil, err
+	}
+	signals := traces[0].Signals
+	candidates := candidateAtoms(signals)
+
+	// Phase 1b (parallel over atoms): frequency and stability statistics.
+	stats := make([]atomStats, len(candidates))
+	if err := fanOut(ctx, workers, len(candidates), func(i int) {
+		stats[i] = statsFor(candidates[i], traces)
+	}); err != nil {
+		return nil, nil, err
+	}
+	kept := selectAtoms(candidates, stats, total, cfg)
+	if len(kept) == 0 {
+		return nil, nil, fmt.Errorf("mining: no atomic proposition survived filtering (%d candidates over %d instants)",
+			len(candidates), total)
+	}
+
+	d := &Dictionary{
+		Signals: signals,
+		Atoms:   kept,
+		index:   map[uint64]int{},
+	}
+
+	// Phase 2a (parallel over traces): pure signature precompute. Workers
+	// only read the (now fixed) atom set and write disjoint buffers.
+	sigs := make([][]uint64, len(traces))
+	if err := fanOut(ctx, workers, len(traces), func(i int) {
+		ft := traces[i]
+		buf := make([]uint64, ft.Len())
+		for t := 0; t < ft.Len(); t++ {
+			buf[t] = d.signature(ft.Row(t))
+		}
+		sigs[i] = buf
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 2b (sequential): intern replay in trace order — cheap map
+	// lookups compared to the atom evaluations above.
+	out := make([]*PropTrace, len(traces))
+	for i, s := range sigs {
+		pt := &PropTrace{IDs: make([]int, len(s))}
+		for t, sig := range s {
+			pt.IDs[t] = d.intern(sig)
+		}
+		out[i] = pt
+	}
+	return d, out, nil
+}
+
+// fanOut runs fn(i) for every i in [0, n) on up to workers goroutines
+// (work-stealing over an atomic cursor, so uneven item costs balance).
+// A cancelled ctx stops workers from picking up new items and is
+// reported as the return value; items already started still finish.
+func fanOut(ctx context.Context, workers, n int, fn func(int)) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,93 @@
+package mining
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"psmkit/internal/logic"
+	"psmkit/internal/trace"
+)
+
+// randomTraces builds nTraces run-structured random traces over a small
+// mixed-width schema (the run structure gives the miner stable atoms to
+// keep, like real control traffic does).
+func randomTraces(rng *rand.Rand, nTraces, minLen, maxLen int) []*trace.Functional {
+	sigs := []trace.Signal{
+		{Name: "en", Width: 1},
+		{Name: "mode", Width: 1},
+		{Name: "a", Width: 4},
+		{Name: "b", Width: 4},
+		{Name: "data", Width: 8},
+	}
+	var out []*trace.Functional
+	for i := 0; i < nTraces; i++ {
+		ft := trace.NewFunctional(sigs)
+		n := minLen + rng.Intn(maxLen-minLen+1)
+		row := make([]logic.Vector, len(sigs))
+		for j, s := range sigs {
+			row[j] = logic.FromUint64(s.Width, uint64(rng.Intn(1<<uint(s.Width))))
+		}
+		for t := 0; t < n; t++ {
+			// Change a random subset of signals with low probability so
+			// values hold for multi-instant runs.
+			for j, s := range sigs {
+				if rng.Float64() < 0.15 {
+					row[j] = logic.FromUint64(s.Width, uint64(rng.Intn(1<<uint(s.Width))))
+				}
+			}
+			ft.Append(row)
+		}
+		out = append(out, ft)
+	}
+	return out
+}
+
+// TestMineParallelEquivalence checks that the parallel miner reproduces
+// the sequential dictionary and proposition traces exactly, for several
+// worker counts and seeds.
+func TestMineParallelEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		traces := randomTraces(rng, 1+rng.Intn(4), 40, 400)
+		cfg := DefaultConfig()
+
+		wantDict, wantPTs, wantErr := Mine(traces, cfg)
+		for _, workers := range []int{1, 2, 3, 8} {
+			gotDict, gotPTs, gotErr := MineParallel(context.Background(), traces, cfg, workers)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed %d workers %d: error mismatch: seq %v, par %v", seed, workers, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(wantDict.Snapshot(), gotDict.Snapshot()) {
+				t.Fatalf("seed %d workers %d: dictionaries differ", seed, workers)
+			}
+			if !reflect.DeepEqual(wantPTs, gotPTs) {
+				t.Fatalf("seed %d workers %d: proposition traces differ", seed, workers)
+			}
+		}
+	}
+}
+
+func TestMineParallelValidation(t *testing.T) {
+	if _, _, err := MineParallel(context.Background(), nil, DefaultConfig(), 4); err == nil {
+		t.Error("no traces accepted")
+	}
+	ft := trace.NewFunctional([]trace.Signal{{Name: "x", Width: 1}})
+	if _, _, err := MineParallel(context.Background(), []*trace.Functional{ft}, DefaultConfig(), 4); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestMineParallelCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	traces := randomTraces(rng, 4, 300, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := MineParallel(ctx, traces, DefaultConfig(), 4); err != context.Canceled {
+		t.Errorf("cancelled mine returned %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+)
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines. Items are handed out in index order over a shared cursor,
+// so uneven item costs balance across workers.
+//
+// Error semantics are deterministic: when one or more calls fail, the
+// error of the lowest index is returned (not whichever worker lost the
+// race), and the pool stops handing out new items. Cancelling ctx also
+// drains the pool; ctx.Err() is returned when no fn error occurred.
+// Workers receive a derived context that is cancelled on the first
+// failure so long-running items can abort early.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		next     int
+		firstIdx = n
+		firstErr error
+	)
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n || firstErr != nil {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		if err != nil && (firstErr == nil || i < firstIdx) {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for wctx.Err() == nil {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				if err := fn(wctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

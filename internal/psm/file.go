@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"psmkit/internal/mining"
 	"psmkit/internal/stats"
@@ -14,12 +15,19 @@ const fileMagic = "psmkit-model-v1"
 
 // fileModel is the on-disk representation of a Model (gob-encoded, with
 // the mined dictionary embedded so a saved model is self-contained).
+// The initial distribution is stored as a state-sorted pair list, not a
+// map: gob serializes maps in randomized iteration order, and Save must
+// be byte-deterministic so identical models produce identical files.
 type fileModel struct {
 	Magic       string
 	Dict        mining.Snapshot
 	States      []fileState
 	Transitions []Transition
-	Initials    map[int]int
+	Initials    []fileInitial
+}
+
+type fileInitial struct {
+	State, Count int
 }
 
 type fileState struct {
@@ -36,8 +44,11 @@ func Save(w io.Writer, m *Model) error {
 		Magic:       fileMagic,
 		Dict:        m.Dict.Snapshot(),
 		Transitions: m.Transitions,
-		Initials:    m.Initials,
 	}
+	for s, n := range m.Initials {
+		fm.Initials = append(fm.Initials, fileInitial{State: s, Count: n})
+	}
+	sort.Slice(fm.Initials, func(i, j int) bool { return fm.Initials[i].State < fm.Initials[j].State })
 	for _, s := range m.States {
 		fm.States = append(fm.States, fileState{
 			Alts:      s.Alts,
@@ -61,10 +72,10 @@ func Load(r io.Reader) (*Model, error) {
 	m := &Model{
 		Dict:        mining.FromSnapshot(fm.Dict),
 		Transitions: fm.Transitions,
-		Initials:    fm.Initials,
+		Initials:    map[int]int{},
 	}
-	if m.Initials == nil {
-		m.Initials = map[int]int{}
+	for _, in := range fm.Initials {
+		m.Initials[in.State] += in.Count
 	}
 	for i, fs := range fm.States {
 		m.States = append(m.States, &State{

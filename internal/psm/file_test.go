@@ -90,6 +90,53 @@ func TestSaveLoadPreservesCalibration(t *testing.T) {
 	}
 }
 
+// TestSaveDeterministic pins byte-identical Save output for the same
+// model. The initial distribution used to be gob-encoded as a map —
+// randomized iteration order made two saves of one model differ, which
+// breaks artifact diffing and the parallel-pipeline byte-equality
+// guarantee. A multi-entry distribution is the regression trigger.
+func TestSaveDeterministic(t *testing.T) {
+	dict, pt, pw := fig3(t)
+	c1, err := Generate(dict, pt, pw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Generate(dict, pt, pw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strict policy keeps the chains' start states apart so Initials
+	// holds several entries.
+	strict := MergePolicy{Epsilon: 1e-12, Alpha: 0.999999, EquivalenceMargin: 1e-12}
+	m := Join([]*Chain{c1, c2}, strict)
+
+	var first bytes.Buffer
+	if err := Save(&first, m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		var again bytes.Buffer
+		if err := Save(&again, m); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("save %d produced different bytes for the same model", i)
+		}
+	}
+	got, err := Load(&first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Initials) != len(m.Initials) {
+		t.Fatalf("initials lost: %d vs %d", len(got.Initials), len(m.Initials))
+	}
+	for id, n := range m.Initials {
+		if got.Initials[id] != n {
+			t.Errorf("initials[%d] = %d, want %d", id, got.Initials[id], n)
+		}
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
 		t.Error("garbage accepted")

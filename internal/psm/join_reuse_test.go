@@ -1,0 +1,154 @@
+package psm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"psmkit/internal/mining"
+	"psmkit/internal/stats"
+)
+
+// reuseChains builds two small chains with power attributes arranged so
+// the default policy merges states both within and across chains.
+func reuseChains() []*Chain {
+	dict := &mining.Dictionary{}
+	mk := func(traceIdx int, means ...float64) *Chain {
+		c := &Chain{Dict: dict, Trace: traceIdx}
+		for i, mu := range means {
+			var m stats.Moments
+			m.AddAll([]float64{mu, mu * 1.001, mu * 0.999})
+			c.States = append(c.States, &State{
+				ID:        i,
+				Alts:      []Alt{{Seq: Sequence{Phases: []Phase{{Prop: i % 3, Kind: Until}}}, Count: 1}},
+				Power:     m,
+				Intervals: []Interval{{Trace: traceIdx, Start: i * 3, Stop: i*3 + 2}},
+				Fit:       &stats.LinearFit{Slope: 1, Intercept: float64(i), R: 0.9},
+			})
+		}
+		return c
+	}
+	return []*Chain{mk(0, 1, 5, 1.01, 9), mk(1, 5.01, 1, 9.02, 5)}
+}
+
+// deepSnapshot serializes every exported field of the chains' states so a
+// before/after comparison catches any in-place modification.
+func deepSnapshot(t *testing.T, chains []*Chain) []byte {
+	t.Helper()
+	type snap struct {
+		Trace  int
+		States []State
+	}
+	var out []snap
+	for _, c := range chains {
+		s := snap{Trace: c.Trace}
+		for _, st := range c.States {
+			s.States = append(s.States, *st)
+		}
+		out = append(out, s)
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestJoinDoesNotMutateChains is the regression test for the join
+// aliasing hazard: collapse/reindex operate on pooled state copies, never
+// on the callers' chains, so the same chains can feed several policies.
+func TestJoinDoesNotMutateChains(t *testing.T) {
+	chains := reuseChains()
+	before := deepSnapshot(t, chains)
+	m := Join(chains, DefaultMergePolicy())
+	if !bytes.Equal(before, deepSnapshot(t, chains)) {
+		t.Fatal("Join modified its input chains")
+	}
+
+	// Deep-aliasing probe: mutating the returned model's states through
+	// every reference path must leave the chains untouched. A shallow
+	// clone that shared Alts/Phases/Intervals/Fit backing storage would
+	// fail here even though the snapshot above still matched.
+	for _, s := range m.States {
+		s.ID += 1000
+		s.Power.Add(123456)
+		for k := range s.Alts {
+			s.Alts[k].Count += 7
+			for p := range s.Alts[k].Seq.Phases {
+				s.Alts[k].Seq.Phases[p].Prop = 99
+			}
+		}
+		for k := range s.Intervals {
+			s.Intervals[k].Start = -1
+		}
+		if s.Fit != nil {
+			s.Fit.Slope = -42
+		}
+	}
+	if !bytes.Equal(before, deepSnapshot(t, chains)) {
+		t.Fatal("Join's model aliases its input chains' state storage")
+	}
+}
+
+// TestJoinChainReuseAcrossPolicies reuses one chain set across different
+// merge policies: each Join must behave as if it ran on freshly built
+// chains.
+func TestJoinChainReuseAcrossPolicies(t *testing.T) {
+	loose := DefaultMergePolicy()
+	// A high Alpha demands p ≥ Alpha to merge, so near-identical samples
+	// still pool but the 0.1–1 % apart clusters stay split.
+	strict := MergePolicy{Epsilon: 1e-9, Alpha: 0.999999, EquivalenceMargin: 1e-12}
+
+	shared := reuseChains()
+	mLoose := Join(shared, loose)
+	mStrict := Join(shared, strict)
+
+	freshLoose := Join(reuseChains(), loose)
+	freshStrict := Join(reuseChains(), strict)
+
+	if !reflect.DeepEqual(modelFingerprint(mLoose), modelFingerprint(freshLoose)) {
+		t.Error("reused chains gave a different model under the loose policy")
+	}
+	if !reflect.DeepEqual(modelFingerprint(mStrict), modelFingerprint(freshStrict)) {
+		t.Error("reused chains gave a different model under the strict policy")
+	}
+	if len(mStrict.States) <= len(mLoose.States) {
+		t.Errorf("strict policy should keep more states (loose %d, strict %d)",
+			len(mLoose.States), len(mStrict.States))
+	}
+}
+
+// TestSimplifyDoesNotMutateChain pins the same contract for Simplify.
+func TestSimplifyDoesNotMutateChain(t *testing.T) {
+	chains := reuseChains()
+	before := deepSnapshot(t, chains)
+	out := Simplify(chains[0], DefaultMergePolicy())
+	for _, s := range out.States {
+		s.Power.Add(1e9)
+		for k := range s.Alts {
+			s.Alts[k].Seq.Phases[0].Prop = 77
+		}
+	}
+	if !bytes.Equal(before, deepSnapshot(t, chains)) {
+		t.Fatal("Simplify modified or aliased its input chain")
+	}
+}
+
+// modelFingerprint reduces a model to comparable structure: state power
+// attributes, alternatives and transition tuples in export order.
+func modelFingerprint(m *Model) [][2]string {
+	var out [][2]string
+	for _, s := range m.sortedStates() {
+		var alts string
+		for _, a := range s.Alts {
+			alts += a.Seq.Key() + "|"
+		}
+		out = append(out, [2]string{"s", alts})
+	}
+	for _, tr := range m.sortedTransitions() {
+		out = append(out, [2]string{"t", fmt.Sprintf("%d>%d@%d x%d", tr.From, tr.To, tr.Enabling, tr.Count)})
+	}
+	return out
+}

@@ -190,13 +190,30 @@ func mergeAdjacent(a, b *State) *State {
 // different chains. The result can be non-deterministic: a state may
 // carry several identical assertions with different successors; Alt
 // counts and Transition counts record the multiplicities the HMM needs.
+//
+// Join deep-copies every chain state on entry (Pool clones): the input
+// chains are never modified, so callers may reuse the same chains across
+// several merge policies. join_reuse_test.go pins this contract.
 func Join(chains []*Chain, policy MergePolicy) *Model {
 	if len(chains) == 0 {
 		return &Model{Initials: map[int]int{}}
 	}
-	m := &Model{Dict: chains[0].Dict, Initials: map[int]int{}}
+	return JoinPooled(Pool(chains), policy)
+}
 
-	// Pool all states and chain transitions with model-global ids.
+// Pool flattens simplified chains into one unmerged model: every chain
+// state is deep-copied and renumbered with a model-global id (chain k's
+// states follow chain k-1's contiguously), the implicit chain transitions
+// are materialized, and each chain's first state is recorded as an
+// initial. Pooling is pure concatenation — associative in the chain
+// order — which is what lets the parallel tree join of internal/pipeline
+// assemble partial pools in any grouping and still reproduce the
+// sequential Join bit for bit.
+func Pool(chains []*Chain) *Model {
+	m := &Model{Initials: map[int]int{}}
+	if len(chains) > 0 {
+		m.Dict = chains[0].Dict
+	}
 	for _, c := range chains {
 		base := len(m.States)
 		for _, s := range c.States {
@@ -211,7 +228,40 @@ func Join(chains []*Chain, policy MergePolicy) *Model {
 		}
 		m.Initials[base]++
 	}
+	return m
+}
 
+// Concat appends pool b to pool a, rebasing b's state ids, transition
+// endpoints and initials by a's state count. It takes ownership of both
+// inputs (a is extended in place, b's states are adopted without copying)
+// and returns a. Concatenating pooled sub-models left to right — in any
+// tree grouping — yields exactly Pool of the concatenated chain list.
+func Concat(a, b *Model) *Model {
+	if a.Dict == nil {
+		a.Dict = b.Dict
+	}
+	base := len(a.States)
+	for _, s := range b.States {
+		s.ID += base
+		a.States = append(a.States, s)
+	}
+	for _, t := range b.Transitions {
+		a.Transitions = append(a.Transitions, Transition{
+			From: base + t.From, To: base + t.To, Enabling: t.Enabling, Count: t.Count,
+		})
+	}
+	for id, n := range b.Initials {
+		a.Initials[base+id] += n
+	}
+	return a
+}
+
+// JoinPooled runs the order-dependent collapse phases of Join on a pooled
+// model (greedy clustering, fixpoint, transition rewiring, reindexing).
+// It mutates and returns m. Exported so the parallel tree join can pool
+// concurrently and still share this exact merge code path with the
+// sequential flow.
+func JoinPooled(m *Model, policy MergePolicy) *Model {
 	// Merged state ids are tracked in an alias table and the transitions
 	// are rewired once at the end — collapsing is then O(alts), not O(T).
 	alias := map[int]int{}

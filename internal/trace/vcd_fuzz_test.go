@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const fuzzSeedVCD = `$timescale 1ns $end
+$scope module top $end
+$var wire 1 ! en $end
+$var wire 1 " we $end
+$var wire 4 # addr $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+0!
+0"
+b0000 #
+$end
+#0
+1!
+b1010 #
+#1
+0!
+1"
+#3
+bx1z0 #
+#4
+`
+
+var vcdIdentName = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+// vcdCost pre-scans a candidate VCD for the resources a successful parse
+// would commit: rows are forward-filled up to the largest #timestamp and
+// each row stores every declared signal, so a tiny input like "#99999999"
+// can demand gigabytes. Inputs past the caps are skipped, not parsed —
+// the limits bound the fuzzer, they are not part of ReadVCD's contract.
+func vcdCost(data []byte) (rows, widthBits int) {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "#") {
+			if t, err := strconv.Atoi(line[1:]); err == nil && t+1 > rows {
+				rows = t + 1
+			}
+		} else if strings.HasPrefix(line, "$var") {
+			if f := strings.Fields(line); len(f) >= 5 {
+				if w, err := strconv.Atoi(f[2]); err == nil && w > 0 {
+					widthBits += w
+				}
+			}
+		}
+	}
+	return rows, widthBits
+}
+
+// FuzzVCDParse feeds arbitrary bytes to ReadVCD. The parser must reject
+// malformed dumps with an error — never panic, hang or over-allocate —
+// and on success the trace must satisfy the reader's documented shape.
+// Accepted dumps with writer-compatible signal names are additionally
+// round-tripped through WriteVCD as a differential oracle.
+func FuzzVCDParse(f *testing.F) {
+	f.Add([]byte(fuzzSeedVCD))
+	f.Add([]byte("$enddefinitions $end\n#0\n"))
+	f.Add([]byte("$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1!\n#2\n"))
+	f.Add([]byte("$var wire 8 % bus $end\n$enddefinitions $end\nb10101010 %\n#0\n#1\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		rows, widthBits := vcdCost(data)
+		if rows > 1<<15 || widthBits > 1<<12 || rows*(widthBits+1) > 1<<22 {
+			t.Skip("input would forward-fill past the fuzz resource budget")
+		}
+
+		ft, err := ReadVCD(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if ft.Len() == 0 {
+			t.Fatal("ReadVCD succeeded but produced an empty trace")
+		}
+		if len(ft.Signals) == 0 {
+			t.Fatal("ReadVCD succeeded but produced no signals")
+		}
+		for i := 0; i < ft.Len(); i++ {
+			if got := len(ft.Row(i)); got != len(ft.Signals) {
+				t.Fatalf("row %d has %d values for %d signals", i, got, len(ft.Signals))
+			}
+		}
+
+		// Round-trip oracle: WriteVCD output must parse back to the same
+		// trace. Only meaningful when every name survives the $var line
+		// tokenizer unchanged.
+		for _, s := range ft.Signals {
+			if !vcdIdentName.MatchString(s.Name) {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := ft.WriteVCD(&buf, "fuzz", 1); err != nil {
+			t.Fatalf("WriteVCD on parsed trace: %v", err)
+		}
+		back, err := ReadVCD(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing WriteVCD output: %v", err)
+		}
+		if back.Len() != ft.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", ft.Len(), back.Len())
+		}
+		if !back.SameSchema(ft) {
+			t.Fatal("round trip changed the signal schema")
+		}
+		for i := 0; i < ft.Len(); i++ {
+			for c := range ft.Signals {
+				if !ft.Value(i, c).Equal(back.Value(i, c)) {
+					t.Fatalf("round trip changed value at t=%d col=%d", i, c)
+				}
+			}
+		}
+	})
+}
