@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fmt vet lint verify fuzz ci
+.PHONY: build test race fmt vet lint verify fuzz psmd-smoke ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ verify:
 		echo "cmd/psmlint/testdata/corrupt.json: rejected as expected"; \
 	fi
 
+# End-to-end daemon smoke: boot the real psmd on an ephemeral port, pipe
+# a tracegen -stream capture into POST /v1/traces, assert GET /v1/model
+# serves a verified model and GET /metrics accounts for every record,
+# then SIGTERM and require a clean drain.
+psmd-smoke:
+	$(GO) run ./scripts
+
 # Short fuzz smoke: run each native fuzz target for a few seconds on top
 # of its committed seed corpus (testdata/fuzz/). Longer sessions: raise
 # FUZZTIME or run `go test -fuzz` by hand.
@@ -49,5 +56,5 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzVCDParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check -run '^$$' -fuzz FuzzModelJSON -fuzztime $(FUZZTIME)
 
-ci: fmt vet build race lint verify fuzz
+ci: fmt vet build race lint verify fuzz psmd-smoke
 	@echo "ci: all gates passed"

@@ -1,0 +1,113 @@
+// Command psmd is the PSM serving daemon: the long-running, online face
+// of the generation flow. Where cmd/psmgen runs the batch pipeline over a
+// fixed trace set and exits, psmd keeps the model alive — clients stream
+// functional/power traces in over HTTP (many concurrent sessions, one per
+// trace being captured), the daemon folds each completed trace into the
+// live model incrementally, and serves the current model, power estimates
+// and operational metrics at any time. The streamed model is byte-
+// identical to what psmgen would produce over the same completed traces.
+//
+// Usage:
+//
+//	psmd -addr :8080 -inputs en,we,addr
+//
+// then, with cmd/tracegen as the trace source:
+//
+//	tracegen -ip RAM -n 20000 -stream | curl -s -X POST --data-binary @- localhost:8080/v1/traces
+//	curl -s localhost:8080/v1/model?format=dot
+//	curl -s localhost:8080/metrics
+//
+// Endpoints: POST /v1/traces, GET /v1/model, POST /v1/estimate,
+// GET /metrics, GET /debug/pprof. SIGINT/SIGTERM shut the daemon down
+// gracefully, draining in-flight uploads before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"psmkit/internal/mining"
+	"psmkit/internal/psm"
+	"psmkit/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	inputs := flag.String("inputs", "", "comma-separated primary-input signal names (calibration regressor)")
+	minSupport := flag.Float64("min-support", mining.DefaultConfig().MinSupport, "miner: minimum atomic-proposition support")
+	minRun := flag.Float64("min-run", mining.DefaultConfig().MinRunLength, "miner: minimum average run length for wide atoms")
+	alpha := flag.Float64("alpha", psm.DefaultMergePolicy().Alpha, "merge: t-test significance level")
+	epsilon := flag.Float64("epsilon", psm.DefaultMergePolicy().Epsilon, "merge: next-state mean tolerance")
+	maxCV := flag.Float64("max-cv", psm.DefaultCalibrationPolicy().MaxCV, "calibrate: CV threshold for data-dependent states")
+	minR := flag.Float64("min-r", psm.DefaultCalibrationPolicy().MinR, "calibrate: minimum |Pearson r|")
+	maxRecords := flag.Int("max-records", serve.DefaultConfig().Stream.MaxRecords, "per-session record limit (0 = unlimited)")
+	maxSessions := flag.Int("max-sessions", serve.DefaultConfig().Stream.MaxOpenSessions, "concurrently open upload sessions (0 = unlimited)")
+	maxLine := flag.Int("max-line-bytes", 1<<20, "NDJSON line length limit for uploads")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for snapshot rebuilds (model is identical for any value)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	cfg := serve.DefaultConfig()
+	cfg.Stream.Workers = *jobs
+	cfg.Stream.Mining = mining.Config{MinSupport: *minSupport, MinRunLength: *minRun}
+	cfg.Stream.Merge = psm.MergePolicy{Epsilon: *epsilon, Alpha: *alpha, EquivalenceMargin: psm.DefaultMergePolicy().EquivalenceMargin}
+	cfg.Stream.Calibration = psm.CalibrationPolicy{MaxCV: *maxCV, MinR: *minR}
+	cfg.Stream.MaxRecords = *maxRecords
+	cfg.Stream.MaxOpenSessions = *maxSessions
+	cfg.MaxLineBytes = *maxLine
+	if *inputs != "" {
+		cfg.Stream.Inputs = strings.Split(*inputs, ",")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, cfg, *drain, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "psmd:", err)
+		os.Exit(1)
+	}
+}
+
+// run binds the address and serves until ctx is cancelled.
+func run(ctx context.Context, addr string, cfg serve.Config, drain time.Duration, logw io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveOn(ctx, ln, serve.New(cfg), drain, logw)
+}
+
+// serveOn serves on an existing listener until ctx is cancelled, then
+// drains in-flight uploads for up to drain before returning. Split from
+// run so the smoke test can drive the daemon on an ephemeral port.
+func serveOn(ctx context.Context, ln net.Listener, srv *serve.Server, drain time.Duration, logw io.Writer) error {
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(logw, "psmd: serving on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(logw, "psmd: shutting down (draining up to %v)\n", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	m := srv.Engine().Metrics()
+	fmt.Fprintf(logw, "psmd: done (%d records over %d traces ingested)\n", m.RecordsIngested, m.TracesCompleted)
+	return nil
+}

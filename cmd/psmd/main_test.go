@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"psmkit/internal/logic"
+	"psmkit/internal/serve"
+	"psmkit/internal/stream"
+	"psmkit/internal/trace"
+)
+
+// smokeTrace renders a synthetic upload body: a two-signal control/data
+// trace whose power level tracks the control bit.
+func smokeTrace(seed int64, n int) *bytes.Buffer {
+	rng := rand.New(rand.NewSource(seed))
+	sigs := []trace.Signal{{Name: "en", Width: 1}, {Name: "op", Width: 2}}
+	var buf bytes.Buffer
+	enc := stream.NewEncoder(&buf)
+	enc.WriteHeader(stream.HeaderFor(sigs, []int{1}))
+	en, op := uint64(0), uint64(0)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.2 {
+			en = uint64(rng.Intn(2))
+		}
+		if rng.Float64() < 0.3 {
+			op = uint64(rng.Intn(4))
+		}
+		row := []logic.Vector{logic.FromUint64(1, en), logic.FromUint64(2, op)}
+		enc.WriteRow(row, 1.0+2.5*float64(en)+0.01*rng.NormFloat64())
+	}
+	enc.Flush()
+	return &buf
+}
+
+// TestSmoke boots the daemon on an ephemeral port, streams a trace in,
+// fetches the verified model and the metrics, and shuts down gracefully —
+// the same loop `make psmd-smoke` drives from the shell.
+func TestSmoke(t *testing.T) {
+	cfg := serve.DefaultConfig()
+	cfg.Stream.Inputs = []string{"op"}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	var logbuf bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ctx, ln, serve.New(cfg), 10*time.Second, &logbuf) }()
+
+	const n = 150
+	resp, err := http.Post(base+"/v1/traces", "application/x-ndjson", smokeTrace(1, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"states"`) {
+		t.Fatalf("model export lacks states: %.80s", body)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var mdoc struct {
+		PSMD struct {
+			RecordsIngested int64 `json:"records_ingested"`
+			TracesCompleted int   `json:"traces_completed"`
+		} `json:"psmd"`
+	}
+	if err := json.Unmarshal(body, &mdoc); err != nil {
+		t.Fatalf("metrics: %v\n%s", err, body)
+	}
+	if mdoc.PSMD.RecordsIngested != n || mdoc.PSMD.TracesCompleted != 1 {
+		t.Fatalf("metrics report %d records / %d traces, want %d / 1",
+			mdoc.PSMD.RecordsIngested, mdoc.PSMD.TracesCompleted, n)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(logbuf.String(), "shutting down") {
+		t.Fatalf("missing drain log: %q", logbuf.String())
+	}
+}
+
+// TestRunBindError: a busy port must surface as an error, not a hang.
+func TestRunBindError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err = run(ctx, ln.Addr().String(), serve.DefaultConfig(), time.Second, io.Discard)
+	if err == nil {
+		t.Fatal("binding a busy port must fail")
+	}
+	if !strings.Contains(err.Error(), "address already in use") {
+		fmt.Println("bind error:", err) // informational; exact text is OS-dependent
+	}
+}

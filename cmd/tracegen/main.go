@@ -9,6 +9,13 @@
 //
 // writes ram_short.func.csv and ram_short.power.csv (and ram_short.vcd
 // with -vcd).
+//
+// With -stream the captured trace is instead emitted to stdout as the
+// NDJSON session format psmd ingests (header line, one record per
+// instant), optionally throttled to -rate records per second — a ready-
+// made trace source for the daemon:
+//
+//	tracegen -ip RAM -n 20000 -stream | curl -s -X POST --data-binary @- localhost:8080/v1/traces
 package main
 
 import (
@@ -16,10 +23,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"psmkit/internal/experiment"
 	"psmkit/internal/hdl"
 	"psmkit/internal/power"
+	"psmkit/internal/stream"
 	"psmkit/internal/testbench"
 	"psmkit/internal/trace"
 )
@@ -31,18 +40,29 @@ func main() {
 	stalls := flag.Bool("stalls", false, "inject pipeline stalls (Camellia)")
 	out := flag.String("out", "trace", "output file prefix")
 	vcd := flag.Bool("vcd", false, "also write a VCD dump")
+	streamOut := flag.Bool("stream", false, "emit the trace to stdout as a psmd NDJSON session instead of CSV files")
+	rate := flag.Float64("rate", 0, "with -stream: records per second (0 = unthrottled)")
 	flag.Parse()
 
+	if *streamOut {
+		if err := runStream(os.Stdout, *ipName, *n, *seed, *stalls, *rate); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*ipName, *n, *seed, *stalls, *out, *vcd); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ipName string, n int, seed int64, stalls bool, out string, vcd bool) error {
+// capture drives the IP under its stimulus program and returns the
+// captured functional trace, power trace and input column indices.
+func capture(ipName string, n int, seed int64, stalls bool) (*trace.Functional, *trace.Power, []int, error) {
 	c, err := experiment.CaseByName(ipName)
 	if err != nil {
-		return err
+		return nil, nil, nil, err
 	}
 	core := c.New()
 	sim := hdl.NewSimulator(core)
@@ -52,16 +72,55 @@ func run(ipName string, n int, seed int64, stalls bool, out string, vcd bool) er
 	sim.Observe(est.Observer())
 	gen, err := testbench.For(core, testbench.Options{Seed: seed, Stalls: stalls})
 	if err != nil {
-		return err
+		return nil, nil, nil, err
 	}
 	if err := testbench.Drive(sim, gen, n); err != nil {
+		return nil, nil, nil, err
+	}
+	return ft, &trace.Power{Values: est.Trace()}, trace.InputColumns(ft, core), nil
+}
+
+// runStream emits the captured trace as one NDJSON upload session,
+// throttled to rate records per second when positive.
+func runStream(w io.Writer, ipName string, n int, seed int64, stalls bool, rate float64) error {
+	ft, pw, inputCols, err := capture(ipName, n, seed, stalls)
+	if err != nil {
+		return err
+	}
+	enc := stream.NewEncoder(w)
+	if err := enc.WriteHeader(stream.HeaderFor(ft.Signals, inputCols)); err != nil {
+		return err
+	}
+	var tick *time.Ticker
+	if rate > 0 {
+		tick = time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer tick.Stop()
+	}
+	for t := 0; t < ft.Len(); t++ {
+		if tick != nil {
+			<-tick.C
+			// Paced emission serves a live consumer: flush per record so
+			// the daemon sees each instant as it is produced.
+			if err := enc.Flush(); err != nil {
+				return err
+			}
+		}
+		if err := enc.WriteRow(ft.Row(t), pw.Values[t]); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}
+
+func run(ipName string, n int, seed int64, stalls bool, out string, vcd bool) error {
+	ft, pw, _, err := capture(ipName, n, seed, stalls)
+	if err != nil {
 		return err
 	}
 
 	if err := writeTo(out+".func.csv", ft.WriteCSV); err != nil {
 		return err
 	}
-	pw := &trace.Power{Values: est.Trace()}
 	if err := writeTo(out+".power.csv", pw.WriteCSV); err != nil {
 		return err
 	}

@@ -1,12 +1,106 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"psmkit/internal/stream"
 	"psmkit/internal/trace"
 )
+
+// TestRunStream checks the -stream mode emits a decodable NDJSON session
+// matching the captured trace: header schema with the IP's input names,
+// one record per instant, powers attached.
+func TestRunStream(t *testing.T) {
+	const n = 200
+	var buf bytes.Buffer
+	if err := runStream(&buf, "RAM", n, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	ft, pw, inputCols, err := capture("RAM", n, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dec := stream.NewDecoder(&buf, 0)
+	h, err := dec.ReadHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := h.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != len(ft.Signals) {
+		t.Fatalf("stream declares %d signals, capture has %d", len(sigs), len(ft.Signals))
+	}
+	for i := range sigs {
+		if sigs[i] != ft.Signals[i] {
+			t.Fatalf("signal %d: %+v, want %+v", i, sigs[i], ft.Signals[i])
+		}
+	}
+	if len(h.Inputs) != len(inputCols) {
+		t.Fatalf("stream declares %d inputs, capture has %d", len(h.Inputs), len(inputCols))
+	}
+	for i, c := range inputCols {
+		if h.Inputs[i] != ft.Signals[c].Name {
+			t.Fatalf("input %d: %q, want %q", i, h.Inputs[i], ft.Signals[c].Name)
+		}
+	}
+
+	var rec stream.Record
+	for i := 0; i < n; i++ {
+		if err := dec.Next(&rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		row, err := stream.DecodeRow(sigs, &rec)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		for c := range row {
+			if !row[c].Equal(ft.Value(i, c)) {
+				t.Fatalf("record %d col %d: %s, want %s", i, c, row[c].Hex(), ft.Value(i, c).Hex())
+			}
+		}
+		if rec.P == nil || *rec.P != pw.Values[i] {
+			t.Fatalf("record %d power %v, want %v", i, rec.P, pw.Values[i])
+		}
+	}
+	if err := dec.Next(&rec); err != io.EOF {
+		t.Fatalf("after %d records got %v, want io.EOF", n, err)
+	}
+}
+
+// TestRunStreamThrottled covers the -rate path (few records, high rate,
+// so the test stays fast).
+func TestRunStreamThrottled(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runStream(&buf, "RAM", 5, 1, false, 500); err != nil {
+		t.Fatal(err)
+	}
+	dec := stream.NewDecoder(&buf, 0)
+	if _, err := dec.ReadHeader(); err != nil {
+		t.Fatal(err)
+	}
+	var rec stream.Record
+	count := 0
+	for dec.Next(&rec) == nil {
+		count++
+	}
+	if count != 5 {
+		t.Fatalf("throttled stream emitted %d records, want 5", count)
+	}
+}
+
+func TestRunStreamUnknownIP(t *testing.T) {
+	if err := runStream(io.Discard, "NoSuchIP", 10, 1, false, 0); err == nil {
+		t.Fatal("unknown IP must fail in -stream mode too")
+	}
+}
 
 func TestRunWritesAllArtifacts(t *testing.T) {
 	dir := t.TempDir()

@@ -28,6 +28,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"psmkit/internal/hmm"
+	"psmkit/internal/psm"
 )
 
 // Severity ranks findings. Error findings make verification fail; Warn
@@ -185,6 +188,16 @@ func ModelRules() []Rule {
 		hmmShapeRule{},
 		hmmStochasticRule{},
 	}
+}
+
+// VerifyPSM lowers a pipeline model (with its HMM layer) and runs every
+// model rule against it: the one-call gate the serving path uses before a
+// model leaves the process, sharing the exact rule set psmlint and
+// psmgen -check apply.
+func VerifyPSM(m *psm.Model, source string, opts Options) *Report {
+	doc := FromPSM(m, source)
+	doc.AttachHMM(hmm.New(m))
+	return Run(doc, opts)
 }
 
 // Run executes every model rule and returns the sorted, severity-filtered

@@ -6,7 +6,11 @@ import (
 	"testing/quick"
 
 	"psmkit/internal/experiment"
+	"psmkit/internal/logic"
+	"psmkit/internal/psm"
+	"psmkit/internal/stats"
 	"psmkit/internal/testbench"
+	"psmkit/internal/trace"
 )
 
 // prof builds a synthetic profile: active bursts of power 10 separated by
@@ -240,5 +244,20 @@ func TestBuildProfileErrors(t *testing.T) {
 	}
 	if _, err := BuildProfile(flow.Model, ts.FTs[0].Slice(0, 0), ts.InputCols, 0.5); err == nil {
 		t.Error("empty trace accepted")
+	}
+
+	// A model with no states has no positive-power state to classify
+	// activity against; same for one whose states all sit at zero power.
+	ft := trace.NewFunctional([]trace.Signal{{Name: "x", Width: 1}})
+	ft.Append([]logic.Vector{logic.FromUint64(1, 0)})
+	empty := &psm.Model{Initials: map[int]int{}}
+	if _, err := BuildProfile(empty, ft, nil, 0.5); err == nil {
+		t.Error("empty model accepted")
+	}
+	var zero stats.Moments
+	zero.AddAll([]float64{0, 0, 0})
+	dark := &psm.Model{States: []*psm.State{{ID: 0, Power: zero}}, Initials: map[int]int{0: 1}}
+	if _, err := BuildProfile(dark, ft, nil, 0.5); err == nil {
+		t.Error("model without a positive-power state accepted")
 	}
 }

@@ -256,9 +256,15 @@ func Mine(traces []*trace.Functional, cfg Config) (*Dictionary, []*PropTrace, er
 	return d, out, nil
 }
 
-// candidateAtoms enumerates the relational templates over a signal set:
+// CandidateAtoms enumerates the relational templates over a signal set:
 // polarity atoms for 1-bit signals, zero tests for wider signals, and the
-// three comparisons for every equal-width signal pair.
+// three comparisons for every equal-width signal pair. It is the exact
+// candidate enumeration the batch miners start from, exported so the
+// streaming engine can evaluate the same candidates record by record.
+func CandidateAtoms(signals []trace.Signal) []Atom {
+	return candidateAtoms(signals)
+}
+
 func candidateAtoms(signals []trace.Signal) []Atom {
 	var atoms []Atom
 	for i, s := range signals {
@@ -282,32 +288,43 @@ func candidateAtoms(signals []trace.Signal) []Atom {
 	return atoms
 }
 
-// atomStats accumulates the truth statistics of one candidate atom over
+// AtomStats accumulates the truth statistics of one candidate atom over
 // the training traces. All fields are exact integer counts, so partial
 // statistics computed per trace (or per atom, on different workers)
-// combine into exactly the numbers a single sequential scan produces.
-type atomStats struct {
-	held, changes       int
-	everTrue, everFalse bool
+// combine into exactly the numbers a single sequential scan produces —
+// the streaming front end (internal/stream) relies on this to fold
+// per-session partials into the global filtering decision.
+type AtomStats struct {
+	Held, Changes       int
+	EverTrue, EverFalse bool
+}
+
+// Merge folds another partial accumulation (over a disjoint trace set)
+// into st.
+func (st *AtomStats) Merge(o AtomStats) {
+	st.Held += o.Held
+	st.Changes += o.Changes
+	st.EverTrue = st.EverTrue || o.EverTrue
+	st.EverFalse = st.EverFalse || o.EverFalse
 }
 
 // statsFor scans every trace once and returns the atom's statistics. It
 // reads only immutable trace storage and is safe to call concurrently for
 // different (or the same) atoms.
-func statsFor(a Atom, traces []*trace.Functional) atomStats {
-	var st atomStats
+func statsFor(a Atom, traces []*trace.Functional) AtomStats {
+	var st AtomStats
 	for _, ft := range traces {
 		prev := false
 		for t := 0; t < ft.Len(); t++ {
 			v := a.Eval(ft.Row(t))
 			if v {
-				st.held++
-				st.everTrue = true
+				st.Held++
+				st.EverTrue = true
 			} else {
-				st.everFalse = true
+				st.EverFalse = true
 			}
 			if t > 0 && v != prev {
-				st.changes++
+				st.Changes++
 			}
 			prev = v
 		}
@@ -324,7 +341,7 @@ func filterAtoms(candidates []Atom, traces []*trace.Functional, cfg Config) []At
 	for _, ft := range traces {
 		total += ft.Len()
 	}
-	stats := make([]atomStats, len(candidates))
+	stats := make([]AtomStats, len(candidates))
 	for i, a := range candidates {
 		stats[i] = statsFor(a, traces)
 	}
@@ -335,31 +352,48 @@ func filterAtoms(candidates []Atom, traces []*trace.Functional, cfg Config) []At
 // cap to precomputed statistics. The decision per atom depends only on
 // that atom's stats, so the sequential and parallel miners share this
 // exact code path and keep byte-identical dictionaries.
-func selectAtoms(candidates []Atom, stats []atomStats, total int, cfg Config) []Atom {
+func selectAtoms(candidates []Atom, stats []AtomStats, total int, cfg Config) []Atom {
+	idx := SelectIndices(candidates, stats, total, cfg)
+	if idx == nil {
+		return nil
+	}
+	kept := make([]Atom, len(idx))
+	for i, ci := range idx {
+		kept[i] = candidates[ci]
+	}
+	return kept
+}
+
+// SelectIndices applies the support/stability thresholds and the MaxAtoms
+// cap to precomputed statistics, returning the indices into candidates of
+// the surviving atoms in their original order. The batch miners and the
+// streaming engine share this exact decision path, so a streamed trace
+// set keeps the byte-identical dictionary the batch flow would mine.
+func SelectIndices(candidates []Atom, stats []AtomStats, total int, cfg Config) []int {
 	if total == 0 {
 		return nil
 	}
-	var kept []Atom
+	var kept []int
 	var supports []float64
 	for ci, a := range candidates {
 		st := stats[ci]
-		if !st.everTrue {
+		if !st.EverTrue {
 			continue // never holds: carries no information
 		}
-		support := float64(st.held) / float64(total)
+		support := float64(st.Held) / float64(total)
 		wide := a.Kind != AtomTrue && a.Kind != AtomFalse
 		if wide {
 			if support < cfg.MinSupport {
 				continue
 			}
-			if st.everFalse { // constant atoms have no run structure to test
-				avgRun := float64(total) / float64(st.changes+1)
+			if st.EverFalse { // constant atoms have no run structure to test
+				avgRun := float64(total) / float64(st.Changes+1)
 				if avgRun < cfg.MinRunLength {
 					continue
 				}
 			}
 		}
-		kept = append(kept, a)
+		kept = append(kept, ci)
 		supports = append(supports, support)
 	}
 	if len(kept) > MaxAtoms {
@@ -373,10 +407,10 @@ func selectAtoms(candidates []Atom, stats []atomStats, total int, cfg Config) []
 		for _, i := range idx[:MaxAtoms] {
 			keep[i] = true
 		}
-		var trimmed []Atom
-		for i, a := range kept {
+		var trimmed []int
+		for i, ci := range kept {
 			if keep[i] {
-				trimmed = append(trimmed, a)
+				trimmed = append(trimmed, ci)
 			}
 		}
 		kept = trimmed

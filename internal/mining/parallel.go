@@ -42,7 +42,7 @@ func MineParallel(ctx context.Context, traces []*trace.Functional, cfg Config, w
 	candidates := candidateAtoms(signals)
 
 	// Phase 1b (parallel over atoms): frequency and stability statistics.
-	stats := make([]atomStats, len(candidates))
+	stats := make([]AtomStats, len(candidates))
 	if err := fanOut(ctx, workers, len(candidates), func(i int) {
 		stats[i] = statsFor(candidates[i], traces)
 	}); err != nil {

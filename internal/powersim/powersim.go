@@ -140,6 +140,14 @@ func (s *Simulator) CurrentState() int { return s.cur }
 // estimate for that instant.
 func (s *Simulator) Step(row []logic.Vector) float64 {
 	s.res.Instants++
+	if s.dict == nil || len(s.model.States) == 0 {
+		// A model without a dictionary or states cannot classify any
+		// behaviour: every instant is unsynchronized and the estimate
+		// degrades to the model-wide mean (0 for an empty model) instead
+		// of crashing the co-simulation.
+		s.res.UnsyncedInstants++
+		return s.fallback
+	}
 	var prop int
 	if s.hasPrev && rowsEqual(s.prevRow, row) {
 		// Fast path: the PI/PO valuation did not change (long stable

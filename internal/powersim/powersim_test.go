@@ -384,3 +384,67 @@ func TestRowFastPathMatchesSlowPath(t *testing.T) {
 		}
 	}
 }
+
+// TestEmptyModelDegradesGracefully: simulating against a model with no
+// states (or no dictionary) must not panic — every instant is unsynced
+// and the estimate falls back to the model-wide mean, 0 for an empty
+// model. The serving path can race a fresh daemon with an estimate
+// request, so this path is reachable from the outside.
+func TestEmptyModelDegradesGracefully(t *testing.T) {
+	empty := &psm.Model{Initials: map[int]int{}}
+	sim := New(empty, nil, DefaultConfig())
+	row := []logic.Vector{logic.FromUint64(1, 1)}
+	for i := 0; i < 5; i++ {
+		if est := sim.Step(row); est != 0 {
+			t.Fatalf("instant %d: estimate %g from an empty model, want 0", i, est)
+		}
+	}
+	res := sim.Result()
+	if res.Instants != 5 || res.UnsyncedInstants != 5 {
+		t.Fatalf("result %+v, want 5 instants all unsynced", res)
+	}
+	if res.WSP() != 1 {
+		t.Fatalf("WSP %g for a never-synced run, want 1", res.WSP())
+	}
+
+	// Run over a functional trace: same degradation, MRE defined.
+	ft := trace.NewFunctional([]trace.Signal{{Name: "x", Width: 1}})
+	for i := 0; i < 4; i++ {
+		ft.Append(row)
+	}
+	ref := &trace.Power{Values: []float64{1, 1, 1, 1}}
+	r := Run(empty, ft, nil, ref, DefaultConfig())
+	if len(r.Estimates) != 4 {
+		t.Fatalf("run produced %d estimates", len(r.Estimates))
+	}
+	if math.IsNaN(r.MRE) || math.IsInf(r.MRE, 0) {
+		t.Fatalf("MRE %g not finite", r.MRE)
+	}
+}
+
+// TestZeroVarianceStates: a model whose states all have σ = 0 (perfectly
+// constant per-mode power) must track and estimate exactly — degenerate
+// variances feed the merge t-test, the HMM training and the estimate
+// path, and none of them may emit NaN.
+func TestZeroVarianceStates(t *testing.T) {
+	// trainingSegments uses constant power per mode, so the generated
+	// states are exactly zero-variance.
+	fx := build(t, trainingSegments())
+	for _, s := range fx.model.States {
+		// The pooled σ is zero up to float cancellation in Sum/SumSq.
+		if sd := s.Power.StdDev(); sd > 1e-6 {
+			t.Fatalf("state %d has σ=%g, fixture should be zero-variance", s.ID, sd)
+		}
+	}
+	sim := New(fx.model, fx.cols, DefaultConfig())
+	for i := 0; i < fx.ft.Len(); i++ {
+		est := sim.Step(fx.ft.Row(i))
+		if math.IsNaN(est) || math.IsInf(est, 0) {
+			t.Fatalf("instant %d: estimate %g", i, est)
+		}
+	}
+	res := sim.Result()
+	if res.WSP() != 0 {
+		t.Fatalf("training replay of a zero-variance model lost sync: %+v", res)
+	}
+}

@@ -40,13 +40,30 @@ func DefaultCalibrationPolicy() CalibrationPolicy {
 func Calibrate(m *Model, fts []*trace.Functional, pws []*trace.Power, inputCols []int, policy CalibrationPolicy) int {
 	// Per-trace input Hamming distances, computed lazily.
 	hdCache := make([][]float64, len(fts))
+	powers := make([][]float64, len(pws))
+	for i, pw := range pws {
+		powers[i] = pw.Values
+	}
 	hd := func(ti int) []float64 {
 		if hdCache[ti] == nil {
 			hdCache[ti] = fts[ti].InputHammingDistance(inputCols)
 		}
 		return hdCache[ti]
 	}
+	return calibrateSeries(m, len(fts), hd, powers, policy)
+}
 
+// CalibrateSeries is Calibrate over precomputed per-trace series: hds[i]
+// is trace i's per-instant primary-input Hamming distance (exactly
+// trace.Functional.InputHammingDistance — 0 at instant 0) and powers[i]
+// its per-instant reference power. The streaming engine accumulates both
+// series record by record, having long discarded the raw valuations, and
+// still calibrates exactly like the batch flow.
+func CalibrateSeries(m *Model, hds, powers [][]float64, policy CalibrationPolicy) int {
+	return calibrateSeries(m, len(hds), func(ti int) []float64 { return hds[ti] }, powers, policy)
+}
+
+func calibrateSeries(m *Model, numTraces int, hd func(int) []float64, powers [][]float64, policy CalibrationPolicy) int {
 	calibrated := 0
 	for _, s := range m.States {
 		if s.Power.N < 3 || s.Power.CoefficientOfVariation() <= policy.MaxCV {
@@ -54,11 +71,11 @@ func Calibrate(m *Model, fts []*trace.Functional, pws []*trace.Power, inputCols 
 		}
 		var xs, ys []float64
 		for _, iv := range s.Intervals {
-			if iv.Trace < 0 || iv.Trace >= len(fts) {
+			if iv.Trace < 0 || iv.Trace >= numTraces {
 				continue
 			}
 			dists := hd(iv.Trace)
-			pw := pws[iv.Trace].Values
+			pw := powers[iv.Trace]
 			for t := iv.Start; t <= iv.Stop && t < len(dists) && t < len(pw); t++ {
 				xs = append(xs, dists[t])
 				ys = append(ys, pw[t])

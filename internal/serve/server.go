@@ -1,0 +1,307 @@
+// Package serve is the HTTP face of the streaming engine: it exposes
+// trace ingestion, live model export, co-simulation power estimation and
+// operational metrics over a small REST surface, reusing the batch flow's
+// building blocks — the internal/stream engine for ingestion and joins,
+// internal/check as the gate a model must pass before it leaves the
+// process, and internal/powersim for estimation.
+//
+// Endpoints:
+//
+//	POST /v1/traces   — ingest one trace as an NDJSON stream (wire.go
+//	                    format: header line, then one record per instant).
+//	                    Concurrent uploads are independent sessions; a
+//	                    dropped connection aborts its session without
+//	                    touching the model.
+//	GET  /v1/model    — export the live model (?format=json|dot), rebuilt
+//	                    incrementally from completed sessions and verified
+//	                    by the psmlint rule set before serving.
+//	POST /v1/estimate — co-simulate an NDJSON functional stream against
+//	                    the live model and return the power estimate
+//	                    (and the MRE when reference powers are present).
+//	GET  /metrics     — expvar-style JSON: ingestion counters, join
+//	                    latency histogram, memstats.
+//	GET  /debug/pprof — the standard profiling handlers.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"psmkit/internal/check"
+	"psmkit/internal/powersim"
+	"psmkit/internal/stats"
+	"psmkit/internal/stream"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Stream configures the ingestion engine (policies, worker budget,
+	// per-session record bound, open-session cap).
+	Stream stream.Config
+	// MaxLineBytes bounds one NDJSON line of an upload; ≤ 0 selects 1 MiB.
+	MaxLineBytes int
+	// CheckOptions parameterizes the model verifier gating GET /v1/model.
+	CheckOptions check.Options
+	// Sim parameterizes the estimation tracker.
+	Sim powersim.Config
+}
+
+// DefaultConfig returns serving-grade defaults.
+func DefaultConfig() Config {
+	return Config{
+		Stream:       stream.DefaultConfig(),
+		CheckOptions: check.DefaultOptions(),
+		Sim:          powersim.DefaultConfig(),
+	}
+}
+
+// Server routes the endpoints to a streaming engine.
+type Server struct {
+	cfg   Config
+	eng   *stream.Engine
+	start time.Time
+}
+
+// New builds a server around a fresh engine.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg, eng: stream.NewEngine(cfg.Stream), start: time.Now()}
+}
+
+// Engine exposes the underlying engine (tests, cmd wiring).
+func (s *Server) Engine() *stream.Engine { return s.eng }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/traces", s.handleTraces)
+	mux.HandleFunc("/v1/model", s.handleModel)
+	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ingestResult is the response of a completed upload.
+type ingestResult struct {
+	Trace   int `json:"trace"`
+	Records int `json:"records"`
+}
+
+// handleTraces ingests one NDJSON trace stream as a session. The request
+// context cancels with the connection, so a client disconnect surfaces as
+// a body read error and the session aborts — nothing partial reaches the
+// model.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	dec := stream.NewDecoder(r.Body, s.cfg.MaxLineBytes)
+	h, err := dec.ReadHeader()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sigs, err := h.Schema()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sess, err := s.eng.Open(sigs)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "sessions already open") {
+			code = http.StatusTooManyRequests
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+
+	var rec stream.Record
+	for {
+		if err := r.Context().Err(); err != nil {
+			sess.Abort()
+			return // connection is gone; no response reaches the client
+		}
+		err := dec.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sess.Abort()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if rec.P == nil {
+			sess.Abort()
+			http.Error(w, fmt.Sprintf("stream: record %d: training records need a power value \"p\"", sess.Rows()+1),
+				http.StatusBadRequest)
+			return
+		}
+		row, err := stream.DecodeRow(sigs, &rec)
+		if err != nil {
+			sess.Abort()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := sess.Append(row, *rec.P); err != nil {
+			sess.Abort()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	n := sess.Rows()
+	idx, err := sess.Close()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResult{Trace: idx, Records: n})
+}
+
+// handleModel exports the live model after the psmlint rule set clears
+// it: a model that fails verification is a pipeline bug and must not
+// leave the process looking like a result.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	m, err := s.eng.Snapshot(r.Context())
+	if err != nil {
+		code := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "no completed traces") {
+			code = http.StatusNotFound
+		}
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			return
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	rep := check.VerifyPSM(m, "live", s.cfg.CheckOptions)
+	if rep.HasErrors() {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "live model failed verification (%d errors):\n", rep.Count(check.Error))
+		//psmlint:ignore err-drop response already committed; a write error here means the client left
+		rep.Write(w)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		//psmlint:ignore err-drop response already committed; a write error here means the client left
+		m.WriteJSON(w)
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		//psmlint:ignore err-drop response already committed; a write error here means the client left
+		m.WriteDOT(w, "psm")
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (json|dot)", format), http.StatusBadRequest)
+	}
+}
+
+// estimateResult is the response of a co-simulation run.
+type estimateResult struct {
+	Instants  int       `json:"instants"`
+	MeanPower float64   `json:"mean_power"`
+	Estimates []float64 `json:"estimates,omitempty"`
+	// MRE is present when the uploaded records carried reference powers.
+	MRE *float64 `json:"mre,omitempty"`
+	// WSP and UnsyncedInstants quantify tracking quality (Section V).
+	WSP              float64 `json:"wsp"`
+	Predictions      int     `json:"predictions"`
+	WrongPredictions int     `json:"wrong_predictions"`
+	UnsyncedInstants int     `json:"unsynced_instants"`
+}
+
+// handleEstimate co-simulates an uploaded functional stream against the
+// current model snapshot. Records may omit the power value; when all
+// carry one, the MRE against the upload is reported.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	m, err := s.eng.Snapshot(r.Context())
+	if err != nil {
+		code := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "no completed traces") {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+
+	dec := stream.NewDecoder(r.Body, s.cfg.MaxLineBytes)
+	h, err := dec.ReadHeader()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sigs, err := h.Schema()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sim := powersim.New(m, s.eng.InputCols(), s.cfg.Sim)
+	var (
+		rec       stream.Record
+		estimates []float64
+		refs      []float64
+		allRef    = true
+		total     float64
+	)
+	for {
+		err := dec.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		row, err := stream.DecodeRow(sigs, &rec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		est := sim.Step(row)
+		estimates = append(estimates, est)
+		total += est
+		if rec.P != nil {
+			refs = append(refs, *rec.P)
+		} else {
+			allRef = false
+		}
+	}
+	if len(estimates) == 0 {
+		http.Error(w, "stream: no records to estimate", http.StatusBadRequest)
+		return
+	}
+	res := sim.Result()
+	out := estimateResult{
+		Instants:         len(estimates),
+		MeanPower:        total / float64(len(estimates)),
+		Estimates:        estimates,
+		WSP:              res.WSP(),
+		Predictions:      res.Predictions,
+		WrongPredictions: res.WrongPredictions,
+		UnsyncedInstants: res.UnsyncedInstants,
+	}
+	if allRef {
+		mre := stats.MeanRelativeError(estimates, refs)
+		out.MRE = &mre
+	}
+	writeJSON(w, http.StatusOK, out)
+}

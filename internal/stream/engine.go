@@ -1,0 +1,491 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psmkit/internal/logic"
+	"psmkit/internal/mining"
+	"psmkit/internal/pipeline"
+	"psmkit/internal/psm"
+	"psmkit/internal/trace"
+)
+
+// Config tunes the streaming engine. The flow policies are the batch
+// pipeline's; equality with pipeline.BuildModel holds per policy set.
+type Config struct {
+	// Workers bounds the goroutines a snapshot's chain rebuild fans out
+	// over (pipeline.ForEach); ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// Mining, Merge and Calibration are the paper-flow tunables.
+	Mining      mining.Config
+	Merge       psm.MergePolicy
+	Calibration psm.CalibrationPolicy
+	// SkipCalibration disables the Hamming-distance regression.
+	SkipCalibration bool
+	// Inputs names the primary-input signals (calibration regressor and
+	// the estimate endpoint). Unknown names fail the first session open.
+	Inputs []string
+	// MaxRecords caps the instants one session may append (0 = unlimited):
+	// the ingest-side memory bound against hostile streams.
+	MaxRecords int
+	// MaxOpenSessions caps concurrently open sessions (0 = unlimited).
+	MaxOpenSessions int
+}
+
+// DefaultConfig returns the paper-reproduction policies with serving-
+// grade ingestion bounds.
+func DefaultConfig() Config {
+	return Config{
+		Mining:          mining.DefaultConfig(),
+		Merge:           psm.DefaultMergePolicy(),
+		Calibration:     psm.DefaultCalibrationPolicy(),
+		MaxRecords:      1 << 22,
+		MaxOpenSessions: 256,
+	}
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// sigRun is one maximal run of identical candidate-atom signatures: the
+// session's compact storage. Runs replace the raw logic vectors — per
+// instant the engine keeps only the power value and the input Hamming
+// distance (8 bytes each), plus one packed bitset per signature change.
+type sigRun struct {
+	sig []uint64
+	n   int
+}
+
+// sessionData is the per-trace evidence a snapshot rebuilds from.
+type sessionData struct {
+	runs  []sigRun
+	power []float64
+	hd    []float64
+	rows  int
+}
+
+// Metrics is a point-in-time snapshot of the engine's counters.
+type Metrics struct {
+	RecordsIngested int64
+	OpenSessions    int
+	TracesCompleted int
+	Snapshots       int
+	// StatesPooled / StatesServed are the last snapshot's pre-join and
+	// post-join state counts; StatesMerged is their difference (how much
+	// the join collapsed).
+	StatesPooled int
+	StatesServed int
+	StatesMerged int
+	// Rebuilds counts snapshots that invalidated the epoch cache (the
+	// kept atom set changed) and rebuilt every chain; incremental
+	// snapshots only fold the sessions completed since the previous one.
+	Rebuilds int
+	// JoinNanos is the total time spent inside Snapshot; JoinLatency is
+	// its distribution (see LatencyBuckets).
+	JoinNanos   int64
+	JoinLatency [len(LatencyBuckets) + 1]int
+}
+
+// LatencyBuckets are the upper bounds (exclusive, in milliseconds) of the
+// join latency histogram; the last histogram slot is the overflow.
+var LatencyBuckets = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000}
+
+// Engine ingests trace sessions and serves live model snapshots.
+//
+// Equality with the batch flow is the design constraint, inherited from
+// internal/pipeline and extended in time: after any set of sessions has
+// completed — in whatever record interleaving — Snapshot returns a model
+// whose JSON and DOT exports are byte-identical to pipeline.BuildModel
+// over the same traces listed in session-completion order. The pieces:
+//
+//   - mining decisions are made by the exact batch code path
+//     (mining.SelectIndices) on statistics accumulated record by record
+//     (exact integer counts, so per-session partials fold losslessly);
+//   - each record is reduced on arrival to its packed candidate-atom
+//     truth bitset (lossless for every downstream mining decision), its
+//     power value and its input Hamming distance; the raw valuation is
+//     discarded immediately — the memory the daemon holds per instant is
+//     16 bytes plus amortized run-length-encoded bitsets;
+//   - proposition ids are interned sequentially in trace order
+//     (mining.MineParallel's replay strategy), chains are built by the
+//     online XU segmenter (bit-identical to psm.Generate) and simplified
+//     with the batch psm.Simplify;
+//   - the live model is a left fold of psm.Concat over the pooled chains
+//     — associative, so it equals pipeline.TreeJoin's tree for any
+//     grouping — and each Snapshot clones the fold and runs the one
+//     order-dependent psm.JoinPooled collapse on the clone, followed by
+//     the batch calibration over the stored power/HD series.
+//
+// The kept atom set depends on global statistics, so a completed session
+// can invalidate earlier decisions; the engine detects this by comparing
+// kept-atom indices per snapshot (an epoch) and rebuilds all chains from
+// the stored bitsets only then, folding incrementally otherwise.
+type Engine struct {
+	cfg        Config
+	candidates []mining.Atom // fixed per schema
+
+	records atomic.Int64 // ingested, including open sessions
+
+	mu        sync.Mutex
+	schema    []trace.Signal
+	inputCols []int
+	stats     []mining.AtomStats // over completed sessions
+	totalRows int                // over completed sessions
+	openCount int
+	completed []*sessionData // trace order == completion order
+	// epoch cache
+	keptIdx []int
+	dict    *mining.Dictionary
+	chains  []*psm.Chain // per completed session; nil entry = too short
+	pool    *psm.Model   // Concat fold of pooled non-nil chains[0:built]
+	built   int
+	// metrics
+	snapshots    int
+	rebuilds     int
+	statesPooled int
+	statesServed int
+	joinNanos    int64
+	joinHist     [len(LatencyBuckets) + 1]int
+}
+
+// NewEngine returns an engine with no schema yet: the first session's
+// header fixes it, exactly like the first trace of a batch run fixes the
+// miner's schema.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{cfg: cfg}
+}
+
+// Session is one open trace being streamed in. It is single-producer:
+// Append/Close/Abort must not be called concurrently on the same session,
+// but any number of sessions proceed in parallel without contending on
+// the engine (only Open and Close take the engine lock).
+type Session struct {
+	e      *Engine
+	obs    *mining.Observer
+	data   *sessionData
+	prev   []logic.Vector
+	buf    []uint64
+	schema []trace.Signal
+	done   bool
+}
+
+// Open starts a session for a trace over the given schema. The first
+// session fixes the engine's schema; later sessions must match it
+// (mining requires a uniform schema across the training set).
+func (e *Engine) Open(sigs []trace.Signal) (*Session, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.MaxOpenSessions > 0 && e.openCount >= e.cfg.MaxOpenSessions {
+		return nil, fmt.Errorf("stream: %d sessions already open (limit %d)", e.openCount, e.cfg.MaxOpenSessions)
+	}
+	if e.schema == nil {
+		if len(sigs) == 0 {
+			return nil, fmt.Errorf("stream: empty signal schema")
+		}
+		cols, err := inputColumns(sigs, e.cfg.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		e.schema = append([]trace.Signal(nil), sigs...)
+		e.inputCols = cols
+		e.candidates = mining.CandidateAtoms(e.schema)
+		e.stats = make([]mining.AtomStats, len(e.candidates))
+	} else if !sameSchema(e.schema, sigs) {
+		return nil, fmt.Errorf("stream: session schema differs from the engine's (%d signals)", len(e.schema))
+	}
+	e.openCount++
+	return &Session{
+		e:      e,
+		obs:    mining.NewObserver(e.candidates),
+		data:   &sessionData{},
+		schema: e.schema,
+	}, nil
+}
+
+// Schema returns the engine's signal schema (nil before the first Open).
+func (e *Engine) Schema() []trace.Signal {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.schema
+}
+
+// InputCols returns the primary-input column indices (for the estimator).
+func (e *Engine) InputCols() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int(nil), e.inputCols...)
+}
+
+// Append consumes one instant: the valuation row and its reference power.
+// The row is reduced to its candidate bitset, power and input-HD samples
+// and is not retained.
+func (s *Session) Append(row []logic.Vector, power float64) error {
+	if s.done {
+		return fmt.Errorf("stream: append to a closed session")
+	}
+	if max := s.e.cfg.MaxRecords; max > 0 && s.data.rows >= max {
+		return fmt.Errorf("stream: session exceeds the %d-record limit", max)
+	}
+	if len(row) != len(s.schema) {
+		return fmt.Errorf("stream: row has %d values, schema %d signals", len(row), len(s.schema))
+	}
+	for i, v := range row {
+		if v.Width() != s.schema[i].Width {
+			return fmt.Errorf("stream: signal %q width %d, value width %d", s.schema[i].Name, s.schema[i].Width, v.Width())
+		}
+	}
+
+	s.buf = s.obs.Observe(row, s.buf)
+	d := s.data
+	if n := len(d.runs); n > 0 && equalWords(d.runs[n-1].sig, s.buf) {
+		d.runs[n-1].n++
+	} else {
+		d.runs = append(d.runs, sigRun{sig: append([]uint64(nil), s.buf...), n: 1})
+	}
+	d.power = append(d.power, power)
+
+	hd := 0.0
+	if s.prev != nil {
+		acc := 0
+		for _, c := range s.e.inputCols {
+			acc += row[c].HammingDistance(s.prev[c])
+		}
+		hd = float64(acc)
+	}
+	d.hd = append(d.hd, hd)
+	if s.prev == nil {
+		s.prev = make([]logic.Vector, len(row))
+	}
+	copy(s.prev, row)
+
+	d.rows++
+	s.e.records.Add(1)
+	return nil
+}
+
+// Rows returns the number of records appended so far.
+func (s *Session) Rows() int { return s.data.rows }
+
+// Close completes the session: its trace joins the training set at the
+// next index (completion order is trace order) and its statistics fold
+// into the global mining decision. An empty session is an error — the
+// batch miner rejects empty traces too — and is discarded.
+func (s *Session) Close() (traceIdx int, err error) {
+	if s.done {
+		return 0, fmt.Errorf("stream: session closed twice")
+	}
+	s.done = true
+	e := s.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.openCount--
+	if s.data.rows == 0 {
+		return 0, fmt.Errorf("stream: session is empty")
+	}
+	mining.MergeStats(e.stats, s.obs.Stats())
+	e.totalRows += s.data.rows
+	e.completed = append(e.completed, s.data)
+	return len(e.completed) - 1, nil
+}
+
+// Abort discards the session (client disconnect mid-upload): nothing it
+// streamed reaches the model.
+func (s *Session) Abort() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.e.mu.Lock()
+	s.e.openCount--
+	s.e.records.Add(-int64(s.data.rows))
+	s.e.mu.Unlock()
+}
+
+// Snapshot materializes the current model over every completed session:
+// byte-identical to pipeline.BuildModel over the same traces. Cancelling
+// ctx aborts the chain fan-out with ctx.Err().
+func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
+	start := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if len(e.completed) == 0 {
+		return nil, fmt.Errorf("stream: no completed traces")
+	}
+	idx := mining.SelectIndices(e.candidates, e.stats, e.totalRows, e.cfg.Mining)
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("stream: no atomic proposition survived filtering (%d candidates over %d instants)",
+			len(e.candidates), e.totalRows)
+	}
+	if !equalInts(idx, e.keptIdx) {
+		// Epoch change: the new evidence moved the kept atom set, so every
+		// proposition id and chain is void. Rebuild from the stored
+		// bitsets — the only snapshot that is not incremental.
+		e.keptIdx = append([]int(nil), idx...)
+		kept := make([]mining.Atom, len(idx))
+		for i, ci := range idx {
+			kept[i] = e.candidates[ci]
+		}
+		e.dict = mining.NewDictionary(e.schema, kept)
+		e.chains = nil
+		e.pool = nil
+		e.built = 0
+		e.rebuilds++
+	}
+
+	// Sequential phase: intern new sessions' run signatures in trace
+	// order (the batch replay order).
+	first := len(e.chains)
+	propIDs := make([][]int, len(e.completed))
+	for i := first; i < len(e.completed); i++ {
+		propIDs[i] = propIDsOf(e.dict, e.keptIdx, e.completed[i])
+	}
+
+	// Parallel phase: per-session segmentation + Simplify over the
+	// pipeline pool.
+	newChains := make([]*psm.Chain, len(e.completed)-first)
+	err := pipeline.ForEach(ctx, e.cfg.workers(), len(newChains), func(_ context.Context, k int) error {
+		i := first + k
+		newChains[k] = chainOfSession(e.dict, propIDs[i], i, e.completed[i], e.cfg.Merge)
+		return nil
+	})
+	if err != nil {
+		// The fan-out is pure; dropping the partial results keeps the
+		// cache consistent (they rebuild on the next snapshot).
+		return nil, err
+	}
+	for _, c := range newChains {
+		if c == nil {
+			// Mirror the batch generator's hard error: a trace too short
+			// to expose a temporal pattern fails the whole build there.
+			return nil, fmt.Errorf("stream: trace %d: proposition trace too short to expose a temporal pattern",
+				len(e.chains))
+		}
+		e.chains = append(e.chains, c)
+	}
+
+	// Incremental join fold: Concat is associative in chain order, so the
+	// left fold equals pipeline.TreeJoin's tree for any worker count.
+	for e.built < len(e.chains) {
+		p := psm.Pool(e.chains[e.built : e.built+1])
+		if e.pool == nil {
+			e.pool = p
+		} else {
+			e.pool = psm.Concat(e.pool, p)
+		}
+		e.built++
+	}
+
+	snap := psm.CloneModel(e.pool)
+	pooled := len(snap.States)
+	psm.JoinPooled(snap, e.cfg.Merge)
+	if !e.cfg.SkipCalibration {
+		hds := make([][]float64, len(e.completed))
+		pws := make([][]float64, len(e.completed))
+		for i, d := range e.completed {
+			hds[i], pws[i] = d.hd, d.power
+		}
+		psm.CalibrateSeries(snap, hds, pws, e.cfg.Calibration)
+	}
+	// Served models must outlive future interning: freeze a private
+	// dictionary copy so EvalRow readers never race Snapshot's writes.
+	snap.Dict = mining.FromSnapshot(e.dict.Snapshot())
+
+	e.snapshots++
+	e.statesPooled = pooled
+	e.statesServed = len(snap.States)
+	el := time.Since(start)
+	e.joinNanos += el.Nanoseconds()
+	ms := float64(el.Nanoseconds()) / 1e6
+	slot := len(LatencyBuckets)
+	for bi, ub := range LatencyBuckets {
+		if ms < ub {
+			slot = bi
+			break
+		}
+	}
+	e.joinHist[slot]++
+	return snap, nil
+}
+
+// Metrics returns the current counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := Metrics{
+		RecordsIngested: e.records.Load(),
+		OpenSessions:    e.openCount,
+		TracesCompleted: len(e.completed),
+		Snapshots:       e.snapshots,
+		Rebuilds:        e.rebuilds,
+		StatesPooled:    e.statesPooled,
+		StatesServed:    e.statesServed,
+		StatesMerged:    e.statesPooled - e.statesServed,
+		JoinNanos:       e.joinNanos,
+	}
+	m.JoinLatency = e.joinHist
+	return m
+}
+
+func inputColumns(sigs []trace.Signal, names []string) ([]int, error) {
+	var cols []int
+	for _, name := range names {
+		col := -1
+		for i, s := range sigs {
+			if s.Name == name {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			return nil, fmt.Errorf("stream: input signal %q not in schema", name)
+		}
+		cols = append(cols, col)
+	}
+	return cols, nil
+}
+
+func sameSchema(a, b []trace.Signal) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalWords(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

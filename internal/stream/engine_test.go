@@ -1,0 +1,170 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"psmkit/internal/logic"
+	"psmkit/internal/trace"
+)
+
+func testSchema() []trace.Signal {
+	return []trace.Signal{{Name: "en", Width: 1}, {Name: "op", Width: 2}}
+}
+
+func rowOf(en, op uint64) []logic.Vector {
+	return []logic.Vector{logic.FromUint64(1, en), logic.FromUint64(2, op)}
+}
+
+func TestEngineOpenErrors(t *testing.T) {
+	e := NewEngine(Config{})
+	if _, err := e.Open(nil); err == nil {
+		t.Fatal("empty schema must fail Open")
+	}
+	e = NewEngine(Config{Inputs: []string{"nosuch"}})
+	if _, err := e.Open(testSchema()); err == nil {
+		t.Fatal("unknown input name must fail the first Open")
+	}
+
+	e = NewEngine(Config{Inputs: []string{"op"}})
+	s, err := e.Open(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Abort()
+	if got := e.InputCols(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("input cols %v, want [1]", got)
+	}
+	if _, err := e.Open([]trace.Signal{{Name: "other", Width: 1}}); err == nil {
+		t.Fatal("schema mismatch must fail later Opens")
+	}
+}
+
+func TestEngineSessionLimits(t *testing.T) {
+	e := NewEngine(Config{MaxOpenSessions: 1, MaxRecords: 2})
+	s, err := e.Open(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Open(testSchema()); err == nil {
+		t.Fatal("second concurrent session must exceed MaxOpenSessions")
+	}
+
+	if err := s.Append(rowOf(0, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rowOf(1, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rowOf(0, 1), 1); err == nil {
+		t.Fatal("third record must exceed MaxRecords")
+	}
+	if err := s.Append(rowOf(0, 1)[:1], 1); err == nil {
+		t.Fatal("short row must fail schema validation")
+	}
+	if err := s.Append([]logic.Vector{logic.FromUint64(2, 0), logic.FromUint64(2, 0)}, 1); err == nil {
+		t.Fatal("wrong signal width must fail schema validation")
+	}
+
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rowOf(0, 0), 1); err == nil {
+		t.Fatal("append after Close must fail")
+	}
+	if _, err := s.Close(); err == nil {
+		t.Fatal("double Close must fail")
+	}
+	s.Abort() // after Close: a no-op, must not unbalance the counters
+	if m := e.Metrics(); m.OpenSessions != 0 {
+		t.Fatalf("open sessions %d, want 0", m.OpenSessions)
+	}
+
+	// The freed slot admits a new session.
+	s2, err := e.Open(testSchema())
+	if err != nil {
+		t.Fatalf("slot not released after Close: %v", err)
+	}
+	s2.Abort()
+}
+
+func TestEngineEmptySessionAndSnapshotErrors(t *testing.T) {
+	e := NewEngine(Config{})
+	if _, err := e.Snapshot(context.Background()); err == nil {
+		t.Fatal("snapshot with no completed traces must fail")
+	}
+	s, err := e.Open(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Close(); err == nil {
+		t.Fatal("closing an empty session must fail (batch rejects empty traces)")
+	}
+	if _, err := e.Snapshot(context.Background()); err == nil {
+		t.Fatal("a rejected empty session must not count as a trace")
+	}
+}
+
+// TestEngineTooShortTrace mirrors the batch generator's hard error: a
+// trace whose proposition sequence never changes closes no run.
+func TestEngineTooShortTrace(t *testing.T) {
+	e := NewEngine(Config{SkipCalibration: true})
+	s, err := e.Open(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Append(rowOf(1, 2), 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(context.Background()); err == nil {
+		t.Fatal("constant trace must fail the snapshot like the batch flow")
+	}
+}
+
+func TestEngineMetricsHistogram(t *testing.T) {
+	e := NewEngine(Config{SkipCalibration: true})
+	s, err := e.Open(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := []uint64{0, 0, 1, 1, 0, 0, 1, 1}
+	for _, b := range pat {
+		if err := s.Append(rowOf(b, 0), float64(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.RecordsIngested != int64(len(pat)) {
+		t.Fatalf("records %d, want %d", m.RecordsIngested, len(pat))
+	}
+	if m.Snapshots != 1 || m.Rebuilds != 1 {
+		t.Fatalf("snapshots=%d rebuilds=%d, want 1/1 (first snapshot always rebuilds)", m.Snapshots, m.Rebuilds)
+	}
+	if m.StatesServed <= 0 || m.StatesPooled < m.StatesServed {
+		t.Fatalf("state counters inconsistent: pooled=%d served=%d", m.StatesPooled, m.StatesServed)
+	}
+	if m.StatesMerged != m.StatesPooled-m.StatesServed {
+		t.Fatalf("merged=%d, want pooled-served=%d", m.StatesMerged, m.StatesPooled-m.StatesServed)
+	}
+	total := 0
+	for _, n := range m.JoinLatency {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("latency histogram holds %d samples, want 1", total)
+	}
+	if m.JoinNanos <= 0 {
+		t.Fatal("join time not recorded")
+	}
+}

@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"psmkit/internal/mining"
+	"psmkit/internal/psm"
+	"psmkit/internal/trace"
+)
+
+// TestSegmenterMatchesGenerate drives the push-based segmenter and the
+// batch PSMGenerator over the same random proposition traces and demands
+// identical chains: same runs, same U/X kinds, same intervals and
+// bit-identical power moments.
+func TestSegmenterMatchesGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(60)
+		ids := make([]int, n)
+		pws := make([]float64, n)
+		p := rng.Intn(3)
+		for i := range ids {
+			if rng.Float64() < 0.35 {
+				p = rng.Intn(4)
+			}
+			ids[i] = p
+			pws[i] = rng.NormFloat64()*0.5 + float64(p)
+		}
+
+		pt := &mining.PropTrace{IDs: ids}
+		pw := &trace.Power{Values: pws}
+		want, wantErr := psm.Generate(nil, pt, pw, iter)
+
+		var runs []Run
+		seg := NewSegmenter(func(r Run) { runs = append(runs, r) })
+		for i := range ids {
+			seg.Push(ids[i], pws[i])
+		}
+		if seg.Instants() != n {
+			t.Fatalf("iter %d: segmenter saw %d instants, want %d", iter, seg.Instants(), n)
+		}
+		seg.Finish()
+		got := ChainOfRuns(nil, iter, runs)
+
+		if wantErr != nil {
+			if got != nil {
+				t.Fatalf("iter %d: Generate failed (%v) but segmenter produced %d states", iter, wantErr, len(got.States))
+			}
+			continue
+		}
+		if got == nil {
+			t.Fatalf("iter %d: Generate produced %d states but segmenter none", iter, len(want.States))
+		}
+		if len(got.States) != len(want.States) {
+			t.Fatalf("iter %d: %d states, want %d (ids=%v)", iter, len(got.States), len(want.States), ids)
+		}
+		for i, ws := range want.States {
+			gs := got.States[i]
+			if gs.ID != ws.ID {
+				t.Fatalf("iter %d state %d: id %d, want %d", iter, i, gs.ID, ws.ID)
+			}
+			ga, wa := gs.Alts[0].Seq.Phases[0], ws.Alts[0].Seq.Phases[0]
+			if ga != wa {
+				t.Fatalf("iter %d state %d: phase %+v, want %+v", iter, i, ga, wa)
+			}
+			if gs.Power != ws.Power {
+				t.Fatalf("iter %d state %d: power %+v, want %+v (order-sensitive float accumulation must match)",
+					iter, i, gs.Power, ws.Power)
+			}
+			if len(gs.Intervals) != 1 || gs.Intervals[0] != ws.Intervals[0] {
+				t.Fatalf("iter %d state %d: intervals %+v, want %+v", iter, i, gs.Intervals, ws.Intervals)
+			}
+		}
+	}
+}
+
+// TestSegmenterPendingAndReuse checks the live-introspection view and that
+// Finish resets the segmenter for another trace.
+func TestSegmenterPendingAndReuse(t *testing.T) {
+	var runs []Run
+	seg := NewSegmenter(func(r Run) { runs = append(runs, r) })
+
+	if _, open := seg.Pending(); open {
+		t.Fatal("fresh segmenter reports an open run")
+	}
+	seg.Push(5, 1.0)
+	seg.Push(5, 3.0)
+	r, open := seg.Pending()
+	if !open || r.Prop != 5 || r.Kind != psm.Until || r.Power.N != 2 {
+		t.Fatalf("pending run %+v open=%v, want open p=5 Until n=2", r, open)
+	}
+	seg.Push(6, 0.5)
+	if len(runs) != 1 || runs[0].Prop != 5 || runs[0].Start != 0 || runs[0].Stop != 1 {
+		t.Fatalf("closed runs %+v, want one run of p=5 over [0,1]", runs)
+	}
+	seg.Finish() // drops the open p=6 run
+	if len(runs) != 1 {
+		t.Fatalf("Finish emitted the final run: %+v", runs)
+	}
+
+	// Reuse for a second trace: positions restart at 0.
+	runs = runs[:0]
+	seg.Push(1, 0)
+	seg.Push(2, 0)
+	seg.Finish()
+	if len(runs) != 1 || runs[0].Start != 0 || runs[0].Stop != 0 || runs[0].Kind != psm.Next {
+		t.Fatalf("after reuse got runs %+v, want one Next run at [0,0]", runs)
+	}
+}

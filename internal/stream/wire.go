@@ -1,0 +1,193 @@
+// Package stream is the online face of the PSM flow: where the batch
+// pipeline (internal/pipeline) mines, generates, simplifies and joins over
+// a fixed trace set, this package ingests functional/power records one at
+// a time — many concurrent sessions, one per trace being captured — and
+// maintains a live model that is byte-identical to what the batch flow
+// would produce over the same completed traces.
+//
+// Three layers:
+//
+//	wire.go    — the NDJSON record format sessions are streamed in
+//	             (shared with cmd/tracegen -stream and cmd/psmd);
+//	segment.go — the online XU segmenter: the push-based mirror of the
+//	             PSMGenerator's two-element-FIFO automaton (Fig. 5),
+//	             emitting `p U q` / `p X q` power states as runs close,
+//	             with streaming ⟨μ, σ, n⟩ accumulation;
+//	engine.go  — the incremental miner + chain builder + join fold that
+//	             turns completed sessions into the live model.
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"psmkit/internal/logic"
+	"psmkit/internal/trace"
+)
+
+// SignalDecl declares one trace signal in a stream header.
+type SignalDecl struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+}
+
+// Header is the first NDJSON line of a trace stream: the signal schema
+// and, optionally, the primary-input signal names (for the calibration
+// regression and the power estimator).
+type Header struct {
+	Signals []SignalDecl `json:"signals"`
+	Inputs  []string     `json:"inputs,omitempty"`
+}
+
+// Schema converts the declarations to the trace-layer signal set.
+func (h *Header) Schema() ([]trace.Signal, error) {
+	if len(h.Signals) == 0 {
+		return nil, fmt.Errorf("stream: header declares no signals")
+	}
+	sigs := make([]trace.Signal, len(h.Signals))
+	for i, d := range h.Signals {
+		if d.Name == "" || d.Width <= 0 {
+			return nil, fmt.Errorf("stream: bad signal declaration %q width %d", d.Name, d.Width)
+		}
+		sigs[i] = trace.Signal{Name: d.Name, Width: d.Width}
+	}
+	return sigs, nil
+}
+
+// HeaderFor builds the header for a schema and input column set.
+func HeaderFor(sigs []trace.Signal, inputCols []int) Header {
+	var h Header
+	for _, s := range sigs {
+		h.Signals = append(h.Signals, SignalDecl{Name: s.Name, Width: s.Width})
+	}
+	for _, c := range inputCols {
+		h.Inputs = append(h.Inputs, sigs[c].Name)
+	}
+	return h
+}
+
+// Record is one simulation instant: the hex-encoded valuation of every
+// schema signal (trace CSV encoding, logic.ParseHex) and the reference
+// dynamic power. P is required when training (POST /v1/traces) and
+// optional when estimating (POST /v1/estimate — present values enable the
+// MRE figure).
+type Record struct {
+	V []string `json:"v"`
+	P *float64 `json:"p,omitempty"`
+}
+
+// DecodeRow parses a record's valuation against a schema.
+func DecodeRow(sigs []trace.Signal, rec *Record) ([]logic.Vector, error) {
+	if len(rec.V) != len(sigs) {
+		return nil, fmt.Errorf("stream: record has %d values, schema %d signals", len(rec.V), len(sigs))
+	}
+	row := make([]logic.Vector, len(sigs))
+	for i, s := range rec.V {
+		v, err := logic.ParseHex(sigs[i].Width, s)
+		if err != nil {
+			return nil, fmt.Errorf("stream: signal %s: %v", sigs[i].Name, err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// Decoder reads one NDJSON trace stream: a Header line followed by Record
+// lines. Lines longer than maxLineBytes fail the decode (memory bound on
+// untrusted uploads).
+type Decoder struct {
+	sc    *bufio.Scanner
+	lines int
+}
+
+// NewDecoder wraps a reader. maxLineBytes ≤ 0 selects 1 MiB.
+func NewDecoder(r io.Reader, maxLineBytes int) *Decoder {
+	if maxLineBytes <= 0 {
+		maxLineBytes = 1 << 20
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, min(maxLineBytes, 64<<10)), maxLineBytes)
+	return &Decoder{sc: sc}
+}
+
+// next returns the next non-empty line.
+func (d *Decoder) next() ([]byte, error) {
+	for d.sc.Scan() {
+		d.lines++
+		line := d.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		return line, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return nil, fmt.Errorf("stream: line %d: %w", d.lines+1, err)
+	}
+	return nil, io.EOF
+}
+
+// ReadHeader parses the stream's header line.
+func (d *Decoder) ReadHeader() (*Header, error) {
+	line, err := d.next()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("stream: empty stream (no header)")
+		}
+		return nil, err
+	}
+	var h Header
+	if err := json.Unmarshal(line, &h); err != nil {
+		return nil, fmt.Errorf("stream: line %d: bad header: %v", d.lines, err)
+	}
+	return &h, nil
+}
+
+// Next parses the next record, returning io.EOF at end of stream.
+func (d *Decoder) Next(rec *Record) error {
+	line, err := d.next()
+	if err != nil {
+		return err
+	}
+	rec.V = rec.V[:0]
+	rec.P = nil
+	if err := json.Unmarshal(line, rec); err != nil {
+		return fmt.Errorf("stream: line %d: bad record: %v", d.lines, err)
+	}
+	return nil
+}
+
+// Encoder writes the NDJSON stream (cmd/tracegen -stream, tests).
+type Encoder struct {
+	w *bufio.Writer
+}
+
+// NewEncoder wraps a writer; call Flush when done.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: bufio.NewWriter(w)} }
+
+func (e *Encoder) writeJSON(v interface{}) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := e.w.Write(b); err != nil {
+		return err
+	}
+	return e.w.WriteByte('\n')
+}
+
+// WriteHeader emits the header line.
+func (e *Encoder) WriteHeader(h Header) error { return e.writeJSON(h) }
+
+// WriteRow emits one record from a valuation row and its power.
+func (e *Encoder) WriteRow(row []logic.Vector, power float64) error {
+	rec := Record{V: make([]string, len(row)), P: &power}
+	for i, v := range row {
+		rec.V[i] = v.Hex()
+	}
+	return e.writeJSON(rec)
+}
+
+// Flush drains the buffered writer.
+func (e *Encoder) Flush() error { return e.w.Flush() }

@@ -1,0 +1,102 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"psmkit/internal/logic"
+	"psmkit/internal/trace"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	sigs := []trace.Signal{{Name: "en", Width: 1}, {Name: "addr", Width: 4}}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.WriteHeader(HeaderFor(sigs, []int{1})); err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]logic.Vector{
+		{logic.FromUint64(1, 1), logic.FromUint64(4, 10)},
+		{logic.FromUint64(1, 0), logic.FromUint64(4, 3)},
+	}
+	for i, row := range rows {
+		if err := enc.WriteRow(row, float64(i)+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(&buf, 0)
+	h, err := dec.ReadHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != sigs[0] || got[1] != sigs[1] {
+		t.Fatalf("schema %+v, want %+v", got, sigs)
+	}
+	if len(h.Inputs) != 1 || h.Inputs[0] != "addr" {
+		t.Fatalf("inputs %v, want [addr]", h.Inputs)
+	}
+
+	var rec Record
+	for i := range rows {
+		if err := dec.Next(&rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		row, err := DecodeRow(got, &rec)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		for c := range row {
+			if !row[c].Equal(rows[i][c]) {
+				t.Fatalf("record %d col %d: %s, want %s", i, c, row[c].Hex(), rows[i][c].Hex())
+			}
+		}
+		if rec.P == nil || *rec.P != float64(i)+0.5 {
+			t.Fatalf("record %d power %v, want %v", i, rec.P, float64(i)+0.5)
+		}
+	}
+	if err := dec.Next(&rec); err != io.EOF {
+		t.Fatalf("after last record got %v, want io.EOF", err)
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	if _, err := NewDecoder(strings.NewReader(""), 0).ReadHeader(); err == nil {
+		t.Fatal("empty stream must fail ReadHeader")
+	}
+	if _, err := NewDecoder(strings.NewReader("{not json\n"), 0).ReadHeader(); err == nil {
+		t.Fatal("malformed header must fail")
+	}
+
+	h := &Header{Signals: []SignalDecl{{Name: "x", Width: 0}}}
+	if _, err := h.Schema(); err == nil {
+		t.Fatal("zero-width declaration must fail Schema")
+	}
+	if _, err := (&Header{}).Schema(); err == nil {
+		t.Fatal("empty declaration list must fail Schema")
+	}
+
+	// A line beyond the bound must error, not hang or over-allocate.
+	long := `{"signals":[{"name":"` + strings.Repeat("a", 4096) + `","width":1}]}` + "\n"
+	if _, err := NewDecoder(strings.NewReader(long), 256).ReadHeader(); err == nil {
+		t.Fatal("over-long line must fail under the byte bound")
+	}
+
+	// Row decode errors: arity and bad hex.
+	sigs := []trace.Signal{{Name: "a", Width: 4}}
+	if _, err := DecodeRow(sigs, &Record{V: []string{"1", "2"}}); err == nil {
+		t.Fatal("arity mismatch must fail DecodeRow")
+	}
+	if _, err := DecodeRow(sigs, &Record{V: []string{"zz"}}); err == nil {
+		t.Fatal("bad hex must fail DecodeRow")
+	}
+}

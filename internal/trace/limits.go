@@ -1,0 +1,64 @@
+package trace
+
+import "fmt"
+
+// Limits bounds the resources a trace parse may commit. The readers are
+// used on untrusted inputs — fuzzed VCD dumps, streaming uploads into the
+// psmd daemon — where a tiny input can demand huge allocations (a bare
+// "#99999999" timestamp forward-fills tens of millions of rows). A zero
+// field means unlimited; the zero Limits value reproduces the historical
+// unbounded behaviour of ReadVCD / ReadFunctionalCSV / ReadPowerCSV.
+//
+// Violations surface as *LimitError, so callers (the fuzz harness, the
+// daemon's ingest path) can distinguish "hostile or oversized input" from
+// a malformed one.
+type Limits struct {
+	// MaxInstants caps the rows a parse may materialize, counting
+	// forward-filled VCD rows.
+	MaxInstants int
+	// MaxSignals caps the declared signal count.
+	MaxSignals int
+	// MaxWidthBits caps the total declared signal width in bits.
+	MaxWidthBits int
+	// MaxLineBytes caps one input line (scanner buffer size). Zero uses
+	// the historical 1 MiB buffer.
+	MaxLineBytes int
+}
+
+// LimitError reports a resource limit exceeded during a bounded parse.
+type LimitError struct {
+	What  string
+	Limit int
+	Got   int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("trace: input exceeds %s limit (%d > %d)", e.What, e.Got, e.Limit)
+}
+
+func (l Limits) lineBytes() int {
+	if l.MaxLineBytes > 0 {
+		return l.MaxLineBytes
+	}
+	return 1 << 20
+}
+
+// checkSignals validates a declared signal set against the limits.
+func (l Limits) checkSignals(count, widthBits int) error {
+	if l.MaxSignals > 0 && count > l.MaxSignals {
+		return &LimitError{What: "signal count", Limit: l.MaxSignals, Got: count}
+	}
+	if l.MaxWidthBits > 0 && widthBits > l.MaxWidthBits {
+		return &LimitError{What: "total signal width", Limit: l.MaxWidthBits, Got: widthBits}
+	}
+	return nil
+}
+
+// checkInstants validates a row count (or a forward-fill target) against
+// the limits.
+func (l Limits) checkInstants(n int) error {
+	if l.MaxInstants > 0 && n > l.MaxInstants {
+		return &LimitError{What: "instant count", Limit: l.MaxInstants, Got: n}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func wantLimitError(t *testing.T, err error, what string) {
+	t.Helper()
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("got %v, want *LimitError for %s", err, what)
+	}
+	if le.What != what {
+		t.Fatalf("LimitError on %q, want %q (err: %v)", le.What, what, le)
+	}
+	if le.Got <= le.Limit {
+		t.Fatalf("LimitError without an exceeded limit: %v", le)
+	}
+}
+
+func TestReadVCDBoundedRejectsHugeTimestamp(t *testing.T) {
+	// A 40-byte dump whose unbounded parse forward-fills a billion rows.
+	in := "$var wire 1 ! a $end\n$enddefinitions $end\n#0\n#999999999\n"
+	_, err := ReadVCDBounded(strings.NewReader(in), Limits{MaxInstants: 1 << 14})
+	wantLimitError(t, err, "instant count")
+
+	// The same dump parses under no limits with a sane timestamp.
+	ok := "$var wire 1 ! a $end\n$enddefinitions $end\n#0\n#3\n"
+	ft, err := ReadVCDBounded(strings.NewReader(ok), Limits{MaxInstants: 1 << 14})
+	if err != nil {
+		t.Fatalf("bounded parse of benign dump: %v", err)
+	}
+	if ft.Len() != 4 {
+		t.Fatalf("got %d instants, want 4", ft.Len())
+	}
+}
+
+func TestReadVCDBoundedRejectsWideDeclarations(t *testing.T) {
+	in := "$var wire 999999 ! bus $end\n$enddefinitions $end\n#0\n"
+	_, err := ReadVCDBounded(strings.NewReader(in), Limits{MaxWidthBits: 2048})
+	wantLimitError(t, err, "total signal width")
+
+	_, err = ReadVCDBounded(strings.NewReader(hostileManySignalsVCD()), Limits{MaxSignals: 32})
+	wantLimitError(t, err, "signal count")
+}
+
+func TestReadFunctionalCSVBounded(t *testing.T) {
+	in := "a:1,b:4\n1,a\n0,3\n1,f\n"
+	if _, err := ReadFunctionalCSVBounded(strings.NewReader(in), Limits{MaxInstants: 3}); err != nil {
+		t.Fatalf("csv within limits: %v", err)
+	}
+	_, err := ReadFunctionalCSVBounded(strings.NewReader(in), Limits{MaxInstants: 2})
+	wantLimitError(t, err, "instant count")
+
+	_, err = ReadFunctionalCSVBounded(strings.NewReader(in), Limits{MaxSignals: 1})
+	wantLimitError(t, err, "signal count")
+
+	_, err = ReadFunctionalCSVBounded(strings.NewReader(in), Limits{MaxWidthBits: 4})
+	wantLimitError(t, err, "total signal width")
+}
+
+func TestReadPowerCSVBounded(t *testing.T) {
+	in := "1.0\n2.0\n3.0\n"
+	if _, err := ReadPowerCSVBounded(strings.NewReader(in), Limits{MaxInstants: 3}); err != nil {
+		t.Fatalf("power csv within limits: %v", err)
+	}
+	_, err := ReadPowerCSVBounded(strings.NewReader(in), Limits{MaxInstants: 2})
+	wantLimitError(t, err, "instant count")
+}
+
+func TestZeroLimitsAreUnbounded(t *testing.T) {
+	in := "a:1\n" + strings.Repeat("1\n", 100)
+	ft, err := ReadFunctionalCSVBounded(strings.NewReader(in), Limits{})
+	if err != nil {
+		t.Fatalf("zero limits must be unbounded: %v", err)
+	}
+	if ft.Len() != 100 {
+		t.Fatalf("got %d rows, want 100", ft.Len())
+	}
+}

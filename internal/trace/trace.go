@@ -184,14 +184,24 @@ func (f *Functional) WriteCSV(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadFunctionalCSV parses the format produced by WriteCSV.
+// ReadFunctionalCSV parses the format produced by WriteCSV. It is
+// unbounded; parsers facing untrusted input should use
+// ReadFunctionalCSVBounded.
 func ReadFunctionalCSV(r io.Reader) (*Functional, error) {
+	return ReadFunctionalCSVBounded(r, Limits{})
+}
+
+// ReadFunctionalCSVBounded is ReadFunctionalCSV under resource limits;
+// violations return a *LimitError.
+func ReadFunctionalCSVBounded(r io.Reader, lim Limits) (*Functional, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	buf := lim.lineBytes()
+	sc.Buffer(make([]byte, min(buf, 1<<20)), buf)
 	if !sc.Scan() {
 		return nil, fmt.Errorf("trace: empty CSV")
 	}
 	var sigs []Signal
+	widthBits := 0
 	for _, field := range strings.Split(sc.Text(), ",") {
 		name, widthStr, ok := strings.Cut(field, ":")
 		if !ok {
@@ -202,6 +212,10 @@ func ReadFunctionalCSV(r io.Reader) (*Functional, error) {
 			return nil, fmt.Errorf("trace: bad width in header field %q", field)
 		}
 		sigs = append(sigs, Signal{Name: name, Width: w})
+		widthBits += w
+	}
+	if err := lim.checkSignals(len(sigs), widthBits); err != nil {
+		return nil, err
 	}
 	f := NewFunctional(sigs)
 	line := 1
@@ -210,6 +224,9 @@ func ReadFunctionalCSV(r io.Reader) (*Functional, error) {
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
+		}
+		if err := lim.checkInstants(f.Len() + 1); err != nil {
+			return nil, err
 		}
 		fields := strings.Split(text, ",")
 		if len(fields) != len(sigs) {
@@ -237,10 +254,19 @@ func (p *Power) WriteCSV(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadPowerCSV parses the format produced by Power.WriteCSV.
+// ReadPowerCSV parses the format produced by Power.WriteCSV. It is
+// unbounded; parsers facing untrusted input should use
+// ReadPowerCSVBounded.
 func ReadPowerCSV(r io.Reader) (*Power, error) {
+	return ReadPowerCSVBounded(r, Limits{})
+}
+
+// ReadPowerCSVBounded is ReadPowerCSV under resource limits; violations
+// return a *LimitError.
+func ReadPowerCSVBounded(r io.Reader, lim Limits) (*Power, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	buf := lim.lineBytes()
+	sc.Buffer(make([]byte, min(buf, 1<<20)), buf)
 	p := &Power{}
 	line := 0
 	for sc.Scan() {
@@ -248,6 +274,9 @@ func ReadPowerCSV(r io.Reader) (*Power, error) {
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
+		}
+		if err := lim.checkInstants(p.Len() + 1); err != nil {
+			return nil, err
 		}
 		v, err := strconv.ParseFloat(text, 64)
 		if err != nil {

@@ -20,9 +20,22 @@ import (
 // WriteVCD produces): $var declarations of type wire/reg, scalar changes
 // `0id`/`1id`, vector changes `b... id`, and `#time` records. $dumpvars /
 // $end markers are tolerated.
+//
+// ReadVCD is unbounded; parsers facing untrusted input should use
+// ReadVCDBounded.
 func ReadVCD(r io.Reader) (*Functional, error) {
+	return ReadVCDBounded(r, Limits{})
+}
+
+// ReadVCDBounded is ReadVCD under resource limits: the parse fails with a
+// *LimitError — before committing the memory — when the dump declares
+// more signals or total width than allowed, or when a timestamp would
+// forward-fill more rows than MaxInstants. The fuzz harness and the psmd
+// ingest path share these limits.
+func ReadVCDBounded(r io.Reader, lim Limits) (*Functional, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	buf := lim.lineBytes()
+	sc.Buffer(make([]byte, min(buf, 1<<20)), buf)
 
 	type sig struct {
 		name  string
@@ -60,6 +73,13 @@ func ReadVCD(r io.Reader) (*Functional, error) {
 	}
 	if len(order) == 0 {
 		return nil, fmt.Errorf("trace: VCD declares no signals")
+	}
+	widthBits := 0
+	for _, s := range order {
+		widthBits += s.width
+	}
+	if err := lim.checkSignals(len(order), widthBits); err != nil {
+		return nil, err
 	}
 
 	sigs := make([]Signal, len(order))
@@ -125,6 +145,11 @@ func ReadVCD(r io.Reader) (*Functional, error) {
 			t, err := strconv.Atoi(line[1:])
 			if err != nil || t < 0 {
 				return fmt.Errorf("trace: bad timestamp %q", line)
+			}
+			// The final emitTo materializes row lastT as well, so the
+			// commitment of accepting this timestamp is t+1 rows.
+			if err := lim.checkInstants(t + 1); err != nil {
+				return err
 			}
 			if started {
 				// rows for [lastT, t) carry the previous values

@@ -2,11 +2,23 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"regexp"
-	"strconv"
 	"strings"
 	"testing"
 )
+
+// hostileManySignalsVCD declares far more signals than the fuzz budget
+// admits.
+func hostileManySignalsVCD() string {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "$var wire 1 %s s%d $end\n", vcdID(i), i)
+	}
+	sb.WriteString("$enddefinitions $end\n#0\n")
+	return sb.String()
+}
 
 const fuzzSeedVCD = `$timescale 1ns $end
 $scope module top $end
@@ -33,51 +45,47 @@ bx1z0 #
 
 var vcdIdentName = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
 
-// vcdCost pre-scans a candidate VCD for the resources a successful parse
-// would commit: rows are forward-filled up to the largest #timestamp and
-// each row stores every declared signal, so a tiny input like "#99999999"
-// can demand gigabytes. Inputs past the caps are skipped, not parsed —
-// the limits bound the fuzzer, they are not part of ReadVCD's contract.
-func vcdCost(data []byte) (rows, widthBits int) {
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if strings.HasPrefix(line, "#") {
-			if t, err := strconv.Atoi(line[1:]); err == nil && t+1 > rows {
-				rows = t + 1
-			}
-		} else if strings.HasPrefix(line, "$var") {
-			if f := strings.Fields(line); len(f) >= 5 {
-				if w, err := strconv.Atoi(f[2]); err == nil && w > 0 {
-					widthBits += w
-				}
-			}
-		}
-	}
-	return rows, widthBits
+// fuzzVCDLimits is the resource budget of the fuzz run: rows are
+// forward-filled up to the largest #timestamp and each row stores every
+// declared signal, so a tiny input like "#99999999" can demand
+// gigabytes. The bounded reader rejects such inputs with a *LimitError
+// before committing the memory — the same mechanism the psmd streaming
+// ingest uses on untrusted uploads.
+var fuzzVCDLimits = Limits{
+	MaxInstants:  1 << 14,
+	MaxSignals:   32,
+	MaxWidthBits: 1 << 11,
+	MaxLineBytes: 1 << 16,
 }
 
-// FuzzVCDParse feeds arbitrary bytes to ReadVCD. The parser must reject
-// malformed dumps with an error — never panic, hang or over-allocate —
-// and on success the trace must satisfy the reader's documented shape.
-// Accepted dumps with writer-compatible signal names are additionally
-// round-tripped through WriteVCD as a differential oracle.
+// FuzzVCDParse feeds arbitrary bytes to the bounded VCD reader. The
+// parser must reject malformed dumps with an error — never panic, hang
+// or over-allocate — and on success the trace must satisfy the reader's
+// documented shape. Accepted dumps with writer-compatible signal names
+// are additionally round-tripped through WriteVCD as a differential
+// oracle.
 func FuzzVCDParse(f *testing.F) {
 	f.Add([]byte(fuzzSeedVCD))
 	f.Add([]byte("$enddefinitions $end\n#0\n"))
 	f.Add([]byte("$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1!\n#2\n"))
 	f.Add([]byte("$var wire 8 % bus $end\n$enddefinitions $end\nb10101010 %\n#0\n#1\n"))
+	// Hostile inputs: tiny dumps whose successful parse would commit
+	// enormous resources. The bounded reader must refuse them.
+	f.Add([]byte("$var wire 1 ! a $end\n$enddefinitions $end\n#0\n#999999999\n"))
+	f.Add([]byte("$var wire 999999999 ! bus $end\n$enddefinitions $end\n#0\n"))
+	f.Add([]byte(hostileManySignalsVCD()))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {
 			t.Skip("oversized input")
 		}
-		rows, widthBits := vcdCost(data)
-		if rows > 1<<15 || widthBits > 1<<12 || rows*(widthBits+1) > 1<<22 {
-			t.Skip("input would forward-fill past the fuzz resource budget")
-		}
 
-		ft, err := ReadVCD(bytes.NewReader(data))
+		ft, err := ReadVCDBounded(bytes.NewReader(data), fuzzVCDLimits)
 		if err != nil {
+			var le *LimitError
+			if errors.As(err, &le) && le.Got <= le.Limit {
+				t.Fatalf("LimitError without an exceeded limit: %v", le)
+			}
 			return
 		}
 		if ft.Len() == 0 {
