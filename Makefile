@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fmt vet lint verify fuzz psmd-smoke ci
+.PHONY: build test race fmt vet lint verify fuzz psmd-smoke bench-obs ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ verify:
 # then SIGTERM and require a clean drain.
 psmd-smoke:
 	$(GO) run ./scripts
+
+# Observability overhead gate: generation with the full obs stack
+# attached (spans, registry, provenance) must finish within 2% of the
+# plain run's min-of-N wall clock; the plain arm is the nil fast path
+# every untraced production call takes.
+bench-obs:
+	BENCH_OBS=1 $(GO) test -run TestObsOverheadGate -count=1 -v .
 
 # Short fuzz smoke: run each native fuzz target for a few seconds on top
 # of its committed seed corpus (testdata/fuzz/). Longer sessions: raise

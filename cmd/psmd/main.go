@@ -17,9 +17,9 @@
 //	curl -s localhost:8080/v1/model?format=dot
 //	curl -s localhost:8080/metrics
 //
-// Endpoints: POST /v1/traces, GET /v1/model, POST /v1/estimate,
-// GET /metrics, GET /debug/pprof. SIGINT/SIGTERM shut the daemon down
-// gracefully, draining in-flight uploads before exiting.
+// Endpoints: POST /v1/traces, GET /v1/model, GET /v1/provenance,
+// POST /v1/estimate, GET /metrics, GET /debug/pprof. SIGINT/SIGTERM shut
+// the daemon down gracefully, draining in-flight uploads before exiting.
 package main
 
 import (
@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"psmkit/internal/mining"
+	"psmkit/internal/obs"
 	"psmkit/internal/psm"
 	"psmkit/internal/serve"
 )
@@ -55,6 +56,7 @@ func main() {
 	maxLine := flag.Int("max-line-bytes", 1<<20, "NDJSON line length limit for uploads")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for snapshot rebuilds (model is identical for any value)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	tracePath := flag.String("trace", "", "write NDJSON span events (ingest, snapshot, join) to this file; prints the span summary at shutdown")
 	flag.Parse()
 
 	cfg := serve.DefaultConfig()
@@ -69,9 +71,29 @@ func main() {
 		cfg.Stream.Inputs = strings.Split(*inputs, ",")
 	}
 
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psmd:", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		cfg.Tracer = obs.NewTracer(f)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, cfg, *drain, os.Stderr); err != nil {
+	err := run(ctx, *addr, cfg, *drain, os.Stderr)
+	if traceFile != nil {
+		if serr := cfg.Tracer.WriteSummary(os.Stderr); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "psmd:", err)
 		os.Exit(1)
 	}

@@ -25,7 +25,7 @@ func TestGoldenOutputs(t *testing.T) {
 	jsonOut := filepath.Join(dir, "m.json")
 
 	err := run(fp, pp, "addr,en,we,wdata", filepath.Join(dir, "m.psm"), dot, jsonOut,
-		mining.DefaultConfig(), psm.DefaultMergePolicy(), psm.DefaultCalibrationPolicy(), true, 3)
+		mining.DefaultConfig(), psm.DefaultMergePolicy(), psm.DefaultCalibrationPolicy(), true, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

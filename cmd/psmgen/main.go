@@ -27,6 +27,7 @@ import (
 	"psmkit/internal/check"
 	"psmkit/internal/hmm"
 	"psmkit/internal/mining"
+	"psmkit/internal/obs"
 	"psmkit/internal/pipeline"
 	"psmkit/internal/powersim"
 	"psmkit/internal/psm"
@@ -48,20 +49,45 @@ func main() {
 	minR := flag.Float64("min-r", psm.DefaultCalibrationPolicy().MinR, "calibrate: minimum |Pearson r|")
 	doCheck := flag.Bool("check", true, "verify chains, model and HMM against the paper invariants before writing")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the parallel pipeline (1 = sequential; output is identical for any value)")
+	var cli obs.CLI
+	cli.BindFlags(flag.CommandLine, true)
 	flag.Parse()
 
 	if err := run(*funcs, *powers, *inputs, *out, *dot, *jsonOut,
 		mining.Config{MinSupport: *minSupport, MinRunLength: *minRun},
 		psm.MergePolicy{Epsilon: *epsilon, Alpha: *alpha, EquivalenceMargin: psm.DefaultMergePolicy().EquivalenceMargin},
 		psm.CalibrationPolicy{MaxCV: *maxCV, MinR: *minR},
-		*doCheck, *jobs,
+		*doCheck, *jobs, &cli,
 	); err != nil {
 		fmt.Fprintln(os.Stderr, "psmgen:", err)
 		os.Exit(1)
 	}
 }
 
+// run opens the observability sinks (nil cli = all off), builds and
+// writes the model, and flushes the sinks on success and failure alike
+// — an aborted run still leaves usable profiles and span logs.
 func run(funcs, powers, inputs, out, dot, jsonOut string,
+	mcfg mining.Config, merge psm.MergePolicy, cal psm.CalibrationPolicy, doCheck bool, jobs int, cli *obs.CLI) error {
+
+	ctx, err := cli.Start(context.Background())
+	if err != nil {
+		return err
+	}
+	runErr := build(ctx, funcs, powers, inputs, out, dot, jsonOut, mcfg, merge, cal, doCheck, jobs)
+	var summary io.Writer
+	if cli != nil && cli.TracePath != "" {
+		summary = os.Stderr
+	}
+	if err := cli.Finish(summary); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// build is the instrumented flow: read → mine → generate/simplify →
+// join → calibrate → check → write, every stage under a span.
+func build(ctx context.Context, funcs, powers, inputs, out, dot, jsonOut string,
 	mcfg mining.Config, merge psm.MergePolicy, cal psm.CalibrationPolicy, doCheck bool, jobs int) error {
 
 	funcFiles := split(funcs)
@@ -71,9 +97,11 @@ func run(funcs, powers, inputs, out, dot, jsonOut string,
 			len(funcFiles), len(powerFiles))
 	}
 
-	ctx := context.Background()
+	ctx, root := obs.Start(ctx, "psmgen", obs.KV("traces", len(funcFiles)))
+	defer root.End()
 
 	// Trace pairs parse independently; fan the I/O out too.
+	_, readSpan := obs.Start(ctx, "read")
 	fts := make([]*trace.Functional, len(funcFiles))
 	pws := make([]*trace.Power, len(funcFiles))
 	err := pipeline.ForEach(ctx, jobs, len(funcFiles), func(_ context.Context, i int) error {
@@ -91,9 +119,11 @@ func run(funcs, powers, inputs, out, dot, jsonOut string,
 		fts[i], pws[i] = ft, pw
 		return nil
 	})
+	readSpan.End()
 	if err != nil {
 		return err
 	}
+	obs.RegistryFrom(ctx).Counter("psmgen_traces_read_total").Add(int64(len(funcFiles)))
 
 	cfg := pipeline.Config{Workers: jobs, Mining: mcfg, Merge: merge, Calibration: cal}
 	chains, err := pipeline.BuildChains(ctx, fts, pws, cfg)
@@ -115,10 +145,11 @@ func run(funcs, powers, inputs, out, dot, jsonOut string,
 	}
 	calibrated := 0
 	if len(inputCols) > 0 {
-		calibrated = psm.Calibrate(model, fts, pws, inputCols, cal)
+		calibrated = psm.CalibrateCtx(ctx, model, fts, pws, inputCols, cal)
 	}
 
 	if doCheck {
+		_, checkSpan := obs.Start(ctx, "check")
 		rep := &check.Report{}
 		for _, c := range chains {
 			rep.Merge(check.CheckChain(c))
@@ -128,6 +159,7 @@ func run(funcs, powers, inputs, out, dot, jsonOut string,
 		doc := check.FromPSM(model, "pipeline")
 		doc.AttachHMM(hmm.New(model))
 		rep.Merge(check.Run(doc, opts))
+		checkSpan.End()
 		for _, f := range rep.Findings {
 			if f.Severity >= check.Warn {
 				fmt.Fprintln(os.Stderr, "psmgen: check:", f)
@@ -139,21 +171,27 @@ func run(funcs, powers, inputs, out, dot, jsonOut string,
 		}
 	}
 
+	_, writeSpan := obs.Start(ctx, "write")
 	if err := writeTo(out, func(w io.Writer) error { return psm.Save(w, model) }); err != nil {
+		writeSpan.End()
 		return err
 	}
 	if dot != "" {
 		if err := writeTo(dot, func(w io.Writer) error { return model.WriteDOT(w, "psm") }); err != nil {
+			writeSpan.End()
 			return err
 		}
 	}
 	if jsonOut != "" {
 		if err := writeTo(jsonOut, model.WriteJSON); err != nil {
+			writeSpan.End()
 			return err
 		}
 	}
+	writeSpan.End()
 
 	// Self-validation on the training set, like the paper's Table II MRE.
+	_, selfSpan := obs.Start(ctx, "selfcheck")
 	var errSum float64
 	var n int
 	for i, ft := range fts {
@@ -161,6 +199,7 @@ func run(funcs, powers, inputs, out, dot, jsonOut string,
 		errSum += res.MRE * float64(res.Instants)
 		n += res.Instants
 	}
+	selfSpan.End()
 	mre := 0.0
 	if n > 0 {
 		mre = 100 * errSum / float64(n)

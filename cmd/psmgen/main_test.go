@@ -53,7 +53,7 @@ func TestRunEndToEnd(t *testing.T) {
 	jsonOut := filepath.Join(dir, "m.json")
 
 	err := run(fp, pp, "addr,en,we,wdata", out, dot, jsonOut,
-		mining.DefaultConfig(), psm.DefaultMergePolicy(), psm.DefaultCalibrationPolicy(), true, 2)
+		mining.DefaultConfig(), psm.DefaultMergePolicy(), psm.DefaultCalibrationPolicy(), true, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,16 +85,16 @@ func TestRunInputValidation(t *testing.T) {
 	pol := psm.DefaultMergePolicy()
 	cal := psm.DefaultCalibrationPolicy()
 
-	if err := run("", "", "", out, "", "", mining.DefaultConfig(), pol, cal, true, 1); err == nil {
+	if err := run("", "", "", out, "", "", mining.DefaultConfig(), pol, cal, true, 1, nil); err == nil {
 		t.Error("empty file lists accepted")
 	}
-	if err := run(fp, "", "", out, "", "", mining.DefaultConfig(), pol, cal, true, 1); err == nil {
+	if err := run(fp, "", "", out, "", "", mining.DefaultConfig(), pol, cal, true, 1, nil); err == nil {
 		t.Error("mismatched file lists accepted")
 	}
-	if err := run(fp, pp, "nosuchsignal", out, "", "", mining.DefaultConfig(), pol, cal, true, 1); err == nil {
+	if err := run(fp, pp, "nosuchsignal", out, "", "", mining.DefaultConfig(), pol, cal, true, 1, nil); err == nil {
 		t.Error("unknown input signal accepted")
 	}
-	if err := run("missing.csv", pp, "", out, "", "", mining.DefaultConfig(), pol, cal, true, 1); err == nil {
+	if err := run("missing.csv", pp, "", out, "", "", mining.DefaultConfig(), pol, cal, true, 1, nil); err == nil {
 		t.Error("missing functional trace accepted")
 	}
 }
@@ -113,7 +113,7 @@ func TestRunShortPowerTraceRejected(t *testing.T) {
 	}
 	f.Close()
 	err = run(fp, short, "", filepath.Join(dir, "m.psm"), "", "",
-		mining.DefaultConfig(), psm.DefaultMergePolicy(), psm.DefaultCalibrationPolicy(), true, 1)
+		mining.DefaultConfig(), psm.DefaultMergePolicy(), psm.DefaultCalibrationPolicy(), true, 1, nil)
 	if err == nil {
 		t.Error("short power trace accepted")
 	}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"psmkit/internal/mining"
+	"psmkit/internal/obs"
+	"psmkit/internal/psm"
+)
+
+// TestTraceSummaryCoversWallClock runs the full flow with every
+// observability sink on and pins the acceptance bar: the span tree's
+// top-level stages must account for at least 95% of the root span's
+// wall-clock — no stage of the pipeline runs untraced.
+func TestTraceSummaryCoversWallClock(t *testing.T) {
+	dir := t.TempDir()
+	fp, pp := writeTraces(t, dir)
+	cli := &obs.CLI{
+		TracePath:      filepath.Join(dir, "spans.ndjson"),
+		MetricsPath:    filepath.Join(dir, "metrics.prom"),
+		ProvenancePath: filepath.Join(dir, "prov.ndjson"),
+	}
+	err := run(fp, pp, "addr,en,we,wdata", filepath.Join(dir, "m.psm"), "", "",
+		mining.DefaultConfig(), psm.DefaultMergePolicy(), psm.DefaultCalibrationPolicy(), true, 2, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the span tree from the emitted NDJSON — the same events a
+	// user would inspect.
+	type ev struct {
+		Name   string `json:"name"`
+		ID     int64  `json:"id"`
+		Parent int64  `json:"parent"`
+		DurNS  int64  `json:"dur_ns"`
+	}
+	f, err := os.Open(cli.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	byID := map[int64]ev{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e ev
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		byID[e.ID] = e
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var root ev
+	stages := map[string]time.Duration{}
+	var staged time.Duration
+	for _, e := range byID {
+		if e.Name == "psmgen" {
+			root = e
+		}
+	}
+	if root.ID == 0 {
+		t.Fatal("no psmgen root span emitted")
+	}
+	for _, e := range byID {
+		if e.Parent == root.ID {
+			stages[e.Name] += time.Duration(e.DurNS)
+			staged += time.Duration(e.DurNS)
+		}
+	}
+	for _, want := range []string{"read", "chains", "join", "calibrate", "check", "write", "selfcheck"} {
+		if _, ok := stages[want]; !ok {
+			t.Errorf("stage %q has no span under the root (got %v)", want, stages)
+		}
+	}
+	total := time.Duration(root.DurNS)
+	if total == 0 {
+		t.Fatal("root span has zero duration")
+	}
+	if cover := float64(staged) / float64(total); cover < 0.95 {
+		t.Fatalf("stages cover %.1f%% of the run's wall-clock (%v of %v), want >= 95%%\nstages: %v",
+			100*cover, staged, total, stages)
+	}
+
+	// The pipeline spans nest below their stages: mine under chains,
+	// simplify under chains, collapse under join.
+	childOf := func(name string) int64 {
+		for _, e := range byID {
+			if e.Name == name {
+				return e.Parent
+			}
+		}
+		return -1
+	}
+	chainsID, joinID := int64(-1), int64(-1)
+	for _, e := range byID {
+		switch e.Name {
+		case "chains":
+			chainsID = e.ID
+		case "join":
+			joinID = e.ID
+		}
+	}
+	if p := childOf("mine"); p != chainsID {
+		t.Errorf("mine span parent = %d, want chains %d", p, chainsID)
+	}
+	if p := childOf("collapse"); p != joinID {
+		t.Errorf("collapse span parent = %d, want join %d", p, joinID)
+	}
+
+	// The sibling sinks filled too.
+	for _, p := range []string{cli.MetricsPath, cli.ProvenancePath} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("%s missing or empty (err=%v)", p, err)
+		}
+	}
+	prov, err := os.Open(cli.ProvenancePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov.Close()
+	ds, err := obs.ReadDecisions(prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 {
+		t.Fatal("provenance log is empty")
+	}
+}

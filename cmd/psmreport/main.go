@@ -1,13 +1,18 @@
-// Command psmreport regenerates the paper's evaluation tables.
+// Command psmreport regenerates the paper's evaluation tables and
+// exports the merge-provenance audit log of a trace set.
 //
 // Usage:
 //
 //	psmreport -table 1
 //	psmreport -table 2 [-long] [-scale 0.1] [-ip AES]
 //	psmreport -table 3 [-scale 0.1] [-ip Camellia]
+//	psmreport provenance -func a.func.csv,b.func.csv -power a.power.csv,b.power.csv [-o log.ndjson]
 //
 // scale < 1 shrinks the testset lengths proportionally for quick runs;
-// the paper's numbers use the full lengths (scale = 1).
+// the paper's numbers use the full lengths (scale = 1). The provenance
+// subcommand rebuilds the model and writes every Section IV-A
+// mergeability decision as NDJSON, in the same canonical order psmd
+// serves at GET /v1/provenance.
 package main
 
 import (
@@ -20,6 +25,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "provenance" {
+		if err := runProvenance(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "psmreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	table := flag.Int("table", 0, "table to regenerate: 1, 2, 3 (paper), 4 (hierarchical ext.), 5 (baselines ext.)")
 	long := flag.Bool("long", false, "table 2: use the long-TS testset")
 	scale := flag.Float64("scale", 1.0, "testset length scale factor (0 < s <= 1)")

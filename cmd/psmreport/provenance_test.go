@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psmkit/internal/experiment"
+	"psmkit/internal/obs"
+	"psmkit/internal/testbench"
+)
+
+// writeRAMTraces renders a small RAM training pair as CSV files.
+func writeRAMTraces(t *testing.T, dir string) (string, string) {
+	t.Helper()
+	c, err := experiment.CaseByName("RAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := experiment.GenerateTraces(c, 2000, 1, testbench.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := filepath.Join(dir, "t.func.csv")
+	pp := filepath.Join(dir, "t.power.csv")
+	ff, err := os.Create(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.FTs[0].WriteCSV(ff); err != nil {
+		t.Fatal(err)
+	}
+	ff.Close()
+	pf, err := os.Create(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.PWs[0].WriteCSV(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	return fp, pp
+}
+
+func TestProvenanceSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	fp, pp := writeRAMTraces(t, dir)
+	out := filepath.Join(dir, "prov.ndjson")
+	if err := runProvenance([]string{"-func", fp, "-power", pp, "-o", out, "-j", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := obs.ReadDecisions(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 {
+		t.Fatal("no decisions logged")
+	}
+	for i, d := range ds {
+		if d.Seq != i {
+			t.Fatalf("decision %d has Seq %d; log is not canonically numbered", i, d.Seq)
+		}
+		if d.Phase != "simplify" && d.Phase != "join" {
+			t.Fatalf("decision %d has unknown phase %q", i, d.Phase)
+		}
+		if d.Test == "" {
+			t.Fatalf("decision %d names no test", i)
+		}
+	}
+
+	// The worker count must not change the log.
+	out2 := filepath.Join(dir, "prov2.ndjson")
+	if err := runProvenance([]string{"-func", fp, "-power", pp, "-o", out2, "-j", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("provenance log differs between -j 1 and -j 2")
+	}
+}
+
+func TestProvenanceSubcommandErrors(t *testing.T) {
+	if err := runProvenance([]string{}); err == nil {
+		t.Error("empty file lists accepted")
+	}
+	if err := runProvenance([]string{"-func", "missing.csv", "-power", "missing.csv"}); err == nil {
+		t.Error("missing files accepted")
+	}
+}

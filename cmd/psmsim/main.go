@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 
 	"psmkit/internal/check"
 	"psmkit/internal/hmm"
+	"psmkit/internal/obs"
 	"psmkit/internal/powersim"
 	"psmkit/internal/psm"
 	"psmkit/internal/trace"
@@ -31,31 +33,59 @@ func main() {
 	estOut := flag.String("est", "", "optional output CSV of per-instant power estimates")
 	noResync := flag.Bool("no-resync", false, "disable HMM resynchronization (basic Section III-C simulation)")
 	doCheck := flag.Bool("check", true, "verify the loaded model and its HMM before simulating")
+	var cli obs.CLI
+	cli.BindFlags(flag.CommandLine, false)
 	flag.Parse()
 
-	if err := run(*modelPath, *funcPath, *powerPath, *inputs, *estOut, *noResync, *doCheck); err != nil {
+	if err := run(*modelPath, *funcPath, *powerPath, *inputs, *estOut, *noResync, *doCheck, &cli); err != nil {
 		fmt.Fprintln(os.Stderr, "psmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelPath, funcPath, powerPath, inputs, estOut string, noResync, doCheck bool) error {
+// run opens the observability sinks (nil cli = all off), simulates, and
+// flushes the sinks whatever simulate returned.
+func run(modelPath, funcPath, powerPath, inputs, estOut string, noResync, doCheck bool, cli *obs.CLI) error {
+	ctx, err := cli.Start(context.Background())
+	if err != nil {
+		return err
+	}
+	runErr := simulate(ctx, modelPath, funcPath, powerPath, inputs, estOut, noResync, doCheck)
+	var summary io.Writer
+	if cli != nil && cli.TracePath != "" {
+		summary = os.Stderr
+	}
+	if err := cli.Finish(summary); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+func simulate(ctx context.Context, modelPath, funcPath, powerPath, inputs, estOut string, noResync, doCheck bool) error {
+	ctx, root := obs.Start(ctx, "psmsim")
+	defer root.End()
+
+	_, loadSpan := obs.Start(ctx, "load")
 	mf, err := os.Open(modelPath)
 	if err != nil {
+		loadSpan.End()
 		return err
 	}
 	model, err := psm.Load(mf)
 	mf.Close()
+	loadSpan.End()
 	if err != nil {
 		return err
 	}
 
 	if doCheck {
+		_, checkSpan := obs.Start(ctx, "check")
 		doc := check.FromPSM(model, modelPath)
 		if len(model.States) > 0 {
 			doc.AttachHMM(hmm.New(model))
 		}
 		rep := check.Run(doc, check.DefaultOptions())
+		checkSpan.End()
 		for _, f := range rep.Findings {
 			if f.Severity >= check.Warn {
 				fmt.Fprintln(os.Stderr, "psmsim: check:", f)
@@ -67,8 +97,10 @@ func run(modelPath, funcPath, powerPath, inputs, estOut string, noResync, doChec
 		}
 	}
 
+	_, readSpan := obs.Start(ctx, "read")
 	ff, err := os.Open(funcPath)
 	if err != nil {
+		readSpan.End()
 		return err
 	}
 	var ft *trace.Functional
@@ -79,6 +111,7 @@ func run(modelPath, funcPath, powerPath, inputs, estOut string, noResync, doChec
 	}
 	ff.Close()
 	if err != nil {
+		readSpan.End()
 		return err
 	}
 
@@ -86,14 +119,17 @@ func run(modelPath, funcPath, powerPath, inputs, estOut string, noResync, doChec
 	if powerPath != "" {
 		pf, err := os.Open(powerPath)
 		if err != nil {
+			readSpan.End()
 			return err
 		}
 		ref, err = trace.ReadPowerCSV(pf)
 		pf.Close()
 		if err != nil {
+			readSpan.End()
 			return err
 		}
 	}
+	readSpan.End()
 
 	var inputCols []int
 	for _, name := range strings.Split(inputs, ",") {
@@ -108,7 +144,9 @@ func run(modelPath, funcPath, powerPath, inputs, estOut string, noResync, doChec
 	}
 
 	cfg := powersim.Config{Resync: !noResync}
+	_, simSpan := obs.Start(ctx, "simulate", obs.KV("instants", ft.Len()))
 	res := powersim.Run(model, ft, inputCols, ref, cfg)
+	simSpan.End()
 
 	fmt.Printf("instants: %d\n", res.Instants)
 	fmt.Printf("state predictions: %d (wrong: %d, WSP %.1f%%)\n",

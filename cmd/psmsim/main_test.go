@@ -58,7 +58,7 @@ func fixture(t *testing.T) (model, funcCSV, powerCSV string) {
 func TestRunValidatesModelAgainstTrace(t *testing.T) {
 	model, funcCSV, powerCSV := fixture(t)
 	est := filepath.Join(filepath.Dir(model), "est.csv")
-	if err := run(model, funcCSV, powerCSV, "addr,en,we,wdata", est, false, true); err != nil {
+	if err := run(model, funcCSV, powerCSV, "addr,en,we,wdata", est, false, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	st, err := os.Stat(est)
@@ -69,23 +69,23 @@ func TestRunValidatesModelAgainstTrace(t *testing.T) {
 
 func TestRunWithoutReferenceOrEstimates(t *testing.T) {
 	model, funcCSV, _ := fixture(t)
-	if err := run(model, funcCSV, "", "", "", true, true); err != nil {
+	if err := run(model, funcCSV, "", "", "", true, true, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	model, funcCSV, powerCSV := fixture(t)
-	if err := run("missing.psm", funcCSV, powerCSV, "", "", false, true); err == nil {
+	if err := run("missing.psm", funcCSV, powerCSV, "", "", false, true, nil); err == nil {
 		t.Error("missing model accepted")
 	}
-	if err := run(model, "missing.csv", powerCSV, "", "", false, true); err == nil {
+	if err := run(model, "missing.csv", powerCSV, "", "", false, true, nil); err == nil {
 		t.Error("missing trace accepted")
 	}
-	if err := run(model, funcCSV, "missing.csv", "", "", false, true); err == nil {
+	if err := run(model, funcCSV, "missing.csv", "", "", false, true, nil); err == nil {
 		t.Error("missing power trace accepted")
 	}
-	if err := run(model, funcCSV, powerCSV, "bogus", "", false, true); err == nil {
+	if err := run(model, funcCSV, powerCSV, "bogus", "", false, true, nil); err == nil {
 		t.Error("unknown input signal accepted")
 	}
 	// The model file itself must be validated.
@@ -93,7 +93,7 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not a model"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, funcCSV, powerCSV, "", "", false, true); err == nil {
+	if err := run(bad, funcCSV, powerCSV, "", "", false, true, nil); err == nil {
 		t.Error("corrupt model accepted")
 	}
 }

@@ -2,9 +2,10 @@
 // static analyzer (go/parser, go/ast, go/types — no external deps) with
 // rules tuned to this numeric codebase:
 //
-//	float-eq   naked ==/!= between floating-point expressions
-//	nan-guard  float division whose denominator has no zero guard
-//	err-drop   call statements discarding an error result
+//	float-eq     naked ==/!= between floating-point expressions
+//	nan-guard    float division whose denominator has no zero guard
+//	err-drop     call statements discarding an error result
+//	obs-metrics  expvar imported outside internal/obs (the metrics facade)
 //
 // Packages are loaded and type-checked from source. Imports inside the
 // current module resolve through the module tree; everything else (the
@@ -54,7 +55,7 @@ type Rule interface {
 
 // Rules returns every registered code rule.
 func Rules() []Rule {
-	return []Rule{floatEqRule{}, nanGuardRule{}, errDropRule{}}
+	return []Rule{floatEqRule{}, nanGuardRule{}, errDropRule{}, obsMetricsRule{}}
 }
 
 // Package is one loaded, type-checked package.

@@ -253,3 +253,38 @@ func Earlier(a, b float64) bool { return a == b }
 		t.Fatalf("findings not sorted by file: %v", fs)
 	}
 }
+
+func TestObsMetricsRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"serve/a.go": `package serve
+
+import "expvar"
+
+var hits = expvar.NewInt("hits")
+`,
+		"blank/b.go": `package blank
+
+import _ "expvar"
+`,
+		"internal/obs/obs.go": `package obs
+
+import "expvar"
+
+func Do(f func(expvar.KeyValue)) { expvar.Do(f) }
+`,
+	})
+	fs, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := rulesHit(fs)
+	if hits["obs-metrics"] != 2 {
+		t.Fatalf("want 2 obs-metrics findings (serve, blank import), got %d: %v", hits["obs-metrics"], fs)
+	}
+	for _, f := range fs {
+		if f.Rule == "obs-metrics" && strings.Contains(f.Pos.Filename, "internal/obs") {
+			t.Fatalf("internal/obs must be exempt, got %v", f)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // isFloat reports whether the expression's resolved type is a floating-
@@ -364,6 +365,39 @@ func (errDropRule) Check(p *Package) []Finding {
 			})
 			return true
 		})
+	}
+	return out
+}
+
+// --- obs-metrics ------------------------------------------------------------
+
+// obsMetricsRule keeps the metrics surface unified: psmkit/internal/obs
+// is the module's single metrics facade (registry, Prometheus/expvar
+// exposition), so importing expvar anywhere else — including blank
+// imports for its side-effect handler — reintroduces the scattered
+// ad-hoc counters the obs layer replaced. Packages outside the module
+// (lint fixtures under another module path) are judged by the same
+// "internal/obs" suffix, so the rule is module-name independent.
+type obsMetricsRule struct{}
+
+func (obsMetricsRule) ID() string { return "obs-metrics" }
+
+func (obsMetricsRule) Check(p *Package) []Finding {
+	if p.Path == "internal/obs" || strings.HasSuffix(p.Path, "/internal/obs") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value != `"expvar"` {
+				continue
+			}
+			out = append(out, Finding{
+				Rule: "obs-metrics",
+				Pos:  p.Fset.Position(imp.Pos()),
+				Msg:  "expvar imported outside internal/obs; register metrics through the obs registry instead",
+			})
+		}
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"psmkit/internal/obs"
 	"psmkit/internal/trace"
 )
 
@@ -34,6 +35,8 @@ func MineParallel(ctx context.Context, traces []*trace.Functional, cfg Config, w
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	ctx, span := obs.Start(ctx, "mine", obs.KV("traces", len(traces)))
+	defer span.End()
 	total, err := validateTraces(traces)
 	if err != nil {
 		return nil, nil, err
@@ -43,15 +46,25 @@ func MineParallel(ctx context.Context, traces []*trace.Functional, cfg Config, w
 
 	// Phase 1b (parallel over atoms): frequency and stability statistics.
 	stats := make([]AtomStats, len(candidates))
-	if err := fanOut(ctx, workers, len(candidates), func(i int) {
+	_, statsSpan := obs.Start(ctx, "mine.stats", obs.KV("candidates", len(candidates)))
+	err = fanOut(ctx, workers, len(candidates), func(i int) {
 		stats[i] = statsFor(candidates[i], traces)
-	}); err != nil {
+	})
+	statsSpan.End()
+	if err != nil {
 		return nil, nil, err
 	}
 	kept := selectAtoms(candidates, stats, total, cfg)
 	if len(kept) == 0 {
 		return nil, nil, fmt.Errorf("mining: no atomic proposition survived filtering (%d candidates over %d instants)",
 			len(candidates), total)
+	}
+	span.SetAttr("atoms", len(kept))
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		reg.Counter("mining_traces_total").Add(int64(len(traces)))
+		reg.Counter("mining_instants_total").Add(int64(total))
+		reg.Counter("mining_atoms_candidates_total").Add(int64(len(candidates)))
+		reg.Counter("mining_atoms_kept_total").Add(int64(len(kept)))
 	}
 
 	d := &Dictionary{
@@ -63,14 +76,17 @@ func MineParallel(ctx context.Context, traces []*trace.Functional, cfg Config, w
 	// Phase 2a (parallel over traces): pure signature precompute. Workers
 	// only read the (now fixed) atom set and write disjoint buffers.
 	sigs := make([][]uint64, len(traces))
-	if err := fanOut(ctx, workers, len(traces), func(i int) {
+	_, rewriteSpan := obs.Start(ctx, "mine.rewrite")
+	err = fanOut(ctx, workers, len(traces), func(i int) {
 		ft := traces[i]
 		buf := make([]uint64, ft.Len())
 		for t := 0; t < ft.Len(); t++ {
 			buf[t] = d.signature(ft.Row(t))
 		}
 		sigs[i] = buf
-	}); err != nil {
+	})
+	if err != nil {
+		rewriteSpan.End()
 		return nil, nil, err
 	}
 
@@ -84,6 +100,8 @@ func MineParallel(ctx context.Context, traces []*trace.Functional, cfg Config, w
 		}
 		out[i] = pt
 	}
+	rewriteSpan.End()
+	obs.RegistryFrom(ctx).Counter("mining_props_total").Add(int64(d.NumProps()))
 	return d, out, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"runtime"
 
 	"psmkit/internal/mining"
+	"psmkit/internal/obs"
 	"psmkit/internal/psm"
 	"psmkit/internal/trace"
 )
@@ -63,6 +64,8 @@ func (c Config) workers() int {
 // the sequential flow (experiment.BuildModel) for any worker count.
 // Cancelling ctx aborts between work items with ctx.Err().
 func BuildModel(ctx context.Context, fts []*trace.Functional, pws []*trace.Power, inputCols []int, cfg Config) (*psm.Model, error) {
+	ctx, span := obs.Start(ctx, "build", obs.KV("traces", len(fts)))
+	defer span.End()
 	chains, err := BuildChains(ctx, fts, pws, cfg)
 	if err != nil {
 		return nil, err
@@ -72,7 +75,7 @@ func BuildModel(ctx context.Context, fts []*trace.Functional, pws []*trace.Power
 		return nil, err
 	}
 	if !cfg.SkipCalibration {
-		psm.Calibrate(model, fts, pws, inputCols, cfg.Calibration)
+		psm.CalibrateCtx(ctx, model, fts, pws, inputCols, cfg.Calibration)
 	}
 	return model, nil
 }
@@ -86,6 +89,8 @@ func BuildChains(ctx context.Context, fts []*trace.Functional, pws []*trace.Powe
 	if len(fts) != len(pws) {
 		return nil, fmt.Errorf("pipeline: %d functional traces but %d power traces", len(fts), len(pws))
 	}
+	ctx, span := obs.Start(ctx, "chains", obs.KV("traces", len(fts)))
+	defer span.End()
 	workers := cfg.workers()
 
 	dict, pts, err := mining.MineParallel(ctx, fts, cfg.Mining, workers)
@@ -94,17 +99,18 @@ func BuildChains(ctx context.Context, fts []*trace.Functional, pws []*trace.Powe
 	}
 
 	chains := make([]*psm.Chain, len(pts))
-	err = ForEach(ctx, workers, len(pts), func(_ context.Context, i int) error {
-		c, err := psm.Generate(dict, pts[i], pws[i], i)
+	err = ForEach(ctx, workers, len(pts), func(wctx context.Context, i int) error {
+		c, err := psm.GenerateCtx(wctx, dict, pts[i], pws[i], i)
 		if err != nil {
 			return fmt.Errorf("pipeline: trace %d: %w", i, err)
 		}
-		chains[i] = psm.Simplify(c, cfg.Merge)
+		chains[i] = psm.SimplifyCtx(wctx, c, cfg.Merge)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	obs.RegistryFrom(ctx).Counter("pipeline_chains_built_total").Add(int64(len(chains)))
 	return chains, nil
 }
 
@@ -120,12 +126,16 @@ func TreeJoin(ctx context.Context, chains []*psm.Chain, policy psm.MergePolicy, 
 	if len(chains) == 0 {
 		return psm.Join(nil, policy), nil
 	}
+	ctx, span := obs.Start(ctx, "join", obs.KV("chains", len(chains)))
+	defer span.End()
+	_, poolSpan := obs.Start(ctx, "join.pool")
 	pools := make([]*psm.Model, len(chains))
 	err := ForEach(ctx, workers, len(chains), func(_ context.Context, i int) error {
 		pools[i] = psm.Pool(chains[i : i+1])
 		return nil
 	})
 	if err != nil {
+		poolSpan.End()
 		return nil, err
 	}
 	for len(pools) > 1 {
@@ -140,9 +150,12 @@ func TreeJoin(ctx context.Context, chains []*psm.Chain, policy psm.MergePolicy, 
 			return nil
 		})
 		if err != nil {
+			poolSpan.End()
 			return nil, err
 		}
 		pools = next
 	}
-	return psm.JoinPooled(pools[0], policy), nil
+	poolSpan.SetAttr("states", len(pools[0].States))
+	poolSpan.End()
+	return psm.JoinPooledCtx(ctx, pools[0], policy), nil
 }

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"context"
 	"sync"
+
+	"psmkit/internal/obs"
 )
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
@@ -37,6 +39,11 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Queue-depth gauge: items not yet handed to a worker. The handle is
+	// nil — and Set a no-op — when the context carries no registry.
+	depth := obs.RegistryFrom(ctx).Gauge("pipeline_pool_queue_depth")
+	depth.Set(float64(n))
+
 	var (
 		mu       sync.Mutex
 		next     int
@@ -47,10 +54,12 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 		mu.Lock()
 		defer mu.Unlock()
 		if next >= n || firstErr != nil {
+			depth.Set(0)
 			return 0, false
 		}
 		i := next
 		next++
+		depth.Set(float64(n - next))
 		return i, true
 	}
 	fail := func(i int, err error) {

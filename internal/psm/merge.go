@@ -46,42 +46,96 @@ func DefaultMergePolicy() MergePolicy {
 	}
 }
 
+// Test names a MergeOutcome can carry: which check decided the verdict.
+const (
+	// TestEmpty / TestNonFinite are the pre-case guards: a state with no
+	// observations, or a poisoned accumulator, never merges.
+	TestEmpty     = "empty"
+	TestNonFinite = "non-finite"
+	// TestEpsilon is Case 1's designer tolerance on two single-sample
+	// means; Stat is the relative difference, Threshold is Epsilon.
+	TestEpsilon = "epsilon"
+	// TestCVGuard is the paper's "σ is low" requirement; Stat is the
+	// offending coefficient of variation, Threshold is MaxCV.
+	TestCVGuard = "cv-guard"
+	// TestDegenerate is the both-constant Welch fallback: the relative
+	// mean difference against Epsilon, like two next-states.
+	TestDegenerate = "degenerate-epsilon"
+	// TestEquivalence is the large-n equivalence margin; Stat is the
+	// relative mean difference, Threshold is EquivalenceMargin.
+	TestEquivalence = "equivalence"
+	// TestWelch / TestOneSample are the t-tests of Cases 2 and 3; Stat is
+	// the p-value, Threshold is Alpha, T carries the raw t statistic.
+	TestWelch     = "welch"
+	TestOneSample = "one-sample"
+)
+
+// MergeOutcome explains one mergeability verdict: which of Section
+// IV-A's cases applied (0 when a pre-case guard short-circuited), which
+// named check decided, the computed statistic against its threshold,
+// and the decision. The provenance audit log records one of these per
+// comparison.
+type MergeOutcome struct {
+	Case      int
+	Test      string
+	Stat      float64
+	Threshold float64
+	// T is the raw t statistic when a t-test ran (0 otherwise, and when
+	// the test itself errored out).
+	T      float64
+	Accept bool
+}
+
 // Mergeable implements the three cases of Section IV-A on two power-
 // attribute summaries.
 func (p MergePolicy) Mergeable(a, b stats.Moments) bool {
+	return p.Evaluate(a, b).Accept
+}
+
+// Evaluate is Mergeable with its reasoning attached: the same decision
+// procedure, returning the case, the deciding test and the statistic
+// instead of a bare boolean. Mergeable is Evaluate(...).Accept — there
+// is exactly one implementation of the decision.
+func (p MergePolicy) Evaluate(a, b stats.Moments) MergeOutcome {
 	if a.N == 0 || b.N == 0 {
-		return false
+		return MergeOutcome{Test: TestEmpty}
 	}
 	// Corrupted attributes (NaN/Inf from a poisoned power trace) must
 	// never merge — and must not reach the t-tests, whose NaN comparisons
 	// would silently decide either way.
 	if !momentsFinite(a) || !momentsFinite(b) {
-		return false
+		return MergeOutcome{Test: TestNonFinite}
 	}
 	switch {
 	case a.N == 1 && b.N == 1:
 		// Case 1: two next-states; designer tolerance on the means.
-		return relDiff(a.Mean(), b.Mean()) <= p.Epsilon
+		d := relDiff(a.Mean(), b.Mean())
+		return MergeOutcome{Case: 1, Test: TestEpsilon, Stat: d, Threshold: p.Epsilon, Accept: d <= p.Epsilon}
 
 	case a.N > 1 && b.N > 1:
 		// Case 2: two until-states; Welch's t-test plus the low-σ guard.
 		if p.MaxCV > 0 && (a.CoefficientOfVariation() > p.MaxCV || b.CoefficientOfVariation() > p.MaxCV) {
-			return false
+			cv := a.CoefficientOfVariation()
+			if bcv := b.CoefficientOfVariation(); bcv > cv {
+				cv = bcv
+			}
+			return MergeOutcome{Case: 2, Test: TestCVGuard, Stat: cv, Threshold: p.MaxCV}
 		}
+		d := relDiff(a.Mean(), b.Mean())
 		if a.Variance() == 0 && b.Variance() == 0 {
 			// Degenerate Welch: both samples are constant, the statistic
 			// is 0/0 or ±Inf. Decide deterministically on the means with
 			// the designer tolerance, like two next-states.
-			return relDiff(a.Mean(), b.Mean()) <= p.Epsilon
+			return MergeOutcome{Case: 2, Test: TestDegenerate, Stat: d, Threshold: p.Epsilon, Accept: d <= p.Epsilon}
 		}
-		if relDiff(a.Mean(), b.Mean()) <= p.EquivalenceMargin {
-			return true
+		if d <= p.EquivalenceMargin {
+			return MergeOutcome{Case: 2, Test: TestEquivalence, Stat: d, Threshold: p.EquivalenceMargin, Accept: true}
 		}
 		res, err := stats.WelchTTest(a, b)
 		if err != nil {
-			return false
+			return MergeOutcome{Case: 2, Test: TestWelch, Threshold: p.Alpha}
 		}
-		return res.P >= p.Alpha
+		return MergeOutcome{Case: 2, Test: TestWelch, Stat: res.P, Threshold: p.Alpha, T: res.T, Accept: res.P >= p.Alpha}
 
 	default:
 		// Case 3: an until-state against a next-state (single sample).
@@ -90,16 +144,16 @@ func (p MergePolicy) Mergeable(a, b stats.Moments) bool {
 			big, x = b, a.Mean()
 		}
 		if p.MaxCV > 0 && big.CoefficientOfVariation() > p.MaxCV {
-			return false
+			return MergeOutcome{Case: 3, Test: TestCVGuard, Stat: big.CoefficientOfVariation(), Threshold: p.MaxCV}
 		}
-		if relDiff(big.Mean(), x) <= p.EquivalenceMargin {
-			return true
+		if d := relDiff(big.Mean(), x); d <= p.EquivalenceMargin {
+			return MergeOutcome{Case: 3, Test: TestEquivalence, Stat: d, Threshold: p.EquivalenceMargin, Accept: true}
 		}
 		res, err := stats.OneSampleTTest(big, x)
 		if err != nil {
-			return false
+			return MergeOutcome{Case: 3, Test: TestOneSample, Threshold: p.Alpha}
 		}
-		return res.P >= p.Alpha
+		return MergeOutcome{Case: 3, Test: TestOneSample, Stat: res.P, Threshold: p.Alpha, T: res.T, Accept: res.P >= p.Alpha}
 	}
 }
 
@@ -139,6 +193,13 @@ func relDiff(a, b float64) float64 {
 // of the merged intervals. It returns a new chain; the input is not
 // modified.
 func Simplify(c *Chain, policy MergePolicy) *Chain {
+	return simplifyWith(plainMerger(policy, phaseSimplify, c.Trace), c)
+}
+
+// simplifyWith is Simplify routed through a merger, so SimplifyCtx can
+// attach the context's provenance log and counters while the plain
+// entry point keeps the policy's boolean fast path.
+func simplifyWith(mg merger, c *Chain) *Chain {
 	states := make([]*State, len(c.States))
 	for i, s := range c.States {
 		states[i] = clonedState(s)
@@ -149,7 +210,7 @@ func Simplify(c *Chain, policy MergePolicy) *Chain {
 		i := 0
 		for i < len(states) {
 			cur := states[i]
-			for i+1 < len(states) && policy.Mergeable(cur.Power, states[i+1].Power) {
+			for i+1 < len(states) && mg.mergeable(cur, states[i+1]) {
 				cur = mergeAdjacent(cur, states[i+1])
 				i++
 				merged = true
@@ -262,6 +323,12 @@ func Concat(a, b *Model) *Model {
 // concurrently and still share this exact merge code path with the
 // sequential flow.
 func JoinPooled(m *Model, policy MergePolicy) *Model {
+	return joinPooledWith(plainMerger(policy, phaseJoin, -1), m)
+}
+
+// joinPooledWith is JoinPooled routed through a merger (see
+// simplifyWith).
+func joinPooledWith(mg merger, m *Model) *Model {
 	// Merged state ids are tracked in an alias table and the transitions
 	// are rewired once at the end — collapsing is then O(alts), not O(T).
 	alias := map[int]int{}
@@ -274,7 +341,7 @@ func JoinPooled(m *Model, policy MergePolicy) *Model {
 	for i := 0; i < len(m.States); {
 		merged := false
 		for j := 0; j < kept; j++ {
-			if policy.Mergeable(m.States[j].Power, m.States[i].Power) {
+			if mg.mergeable(m.States[j], m.States[i]) {
 				collapse(m, alias, j, i)
 				merged = true
 				break
@@ -294,7 +361,7 @@ func JoinPooled(m *Model, policy MergePolicy) *Model {
 		found := false
 		for i := 0; i < len(m.States) && !found; i++ {
 			for j := i + 1; j < len(m.States) && !found; j++ {
-				if policy.Mergeable(m.States[i].Power, m.States[j].Power) {
+				if mg.mergeable(m.States[i], m.States[j]) {
 					collapse(m, alias, i, j)
 					found = true
 				}

@@ -1,0 +1,125 @@
+package psm
+
+import (
+	"context"
+
+	"psmkit/internal/mining"
+	"psmkit/internal/obs"
+	"psmkit/internal/stats"
+	"psmkit/internal/trace"
+)
+
+// Phase labels of the provenance log: where a mergeability comparison
+// ran.
+const (
+	phaseSimplify = "simplify"
+	phaseJoin     = "join"
+)
+
+// merger bundles a MergePolicy with the observation sinks of one merge
+// pass: the provenance log the decisions are recorded into and the
+// per-case merge counters. A merger without sinks (plainMerger, or a
+// context carrying neither) decides through the policy's plain boolean
+// path — the instrumented and uninstrumented passes share one decision
+// implementation (MergePolicy.Evaluate), so observing a run cannot
+// change its model.
+type merger struct {
+	policy MergePolicy
+	phase  string
+	trace  int
+	prov   *obs.ProvenanceLog
+	checks *obs.Counter
+	cases  [4]*obs.Counter // indexed by MergeOutcome.Case, 1..3
+}
+
+// plainMerger is the sink-free merger of the non-context entry points.
+func plainMerger(policy MergePolicy, phase string, traceIdx int) merger {
+	return merger{policy: policy, phase: phase, trace: traceIdx}
+}
+
+// newMerger attaches the context's provenance log and registry, if any.
+func newMerger(ctx context.Context, policy MergePolicy, phase string, traceIdx int) merger {
+	mg := plainMerger(policy, phase, traceIdx)
+	mg.prov = obs.ProvenanceFrom(ctx)
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		mg.checks = reg.Counter("psm_merge_checks_total")
+		mg.cases[1] = reg.Counter("psm_merges_case1_total")
+		mg.cases[2] = reg.Counter("psm_merges_case2_total")
+		mg.cases[3] = reg.Counter("psm_merges_case3_total")
+	}
+	return mg
+}
+
+// mergeable decides whether two states' power attributes merge,
+// recording the decision when a sink is attached.
+func (mg *merger) mergeable(a, b *State) bool {
+	if mg.prov == nil && mg.checks == nil {
+		return mg.policy.Mergeable(a.Power, b.Power)
+	}
+	out := mg.policy.Evaluate(a.Power, b.Power)
+	mg.checks.Inc()
+	if out.Accept && out.Case >= 1 && out.Case <= 3 {
+		mg.cases[out.Case].Inc()
+	}
+	mg.prov.Record(obs.MergeDecision{
+		Phase:     mg.phase,
+		Trace:     mg.trace,
+		A:         momentsRecord(a.ID, a.Power),
+		B:         momentsRecord(b.ID, b.Power),
+		Case:      out.Case,
+		Test:      out.Test,
+		Stat:      out.Stat,
+		Threshold: out.Threshold,
+		T:         out.T,
+		Accept:    out.Accept,
+	})
+	return out.Accept
+}
+
+func momentsRecord(id int, m stats.Moments) obs.MomentsRecord {
+	return obs.MomentsRecord{State: id, N: m.N, Sum: m.Sum, SumSq: m.SumSq, Mean: m.Mean(), Std: m.StdDev()}
+}
+
+// GenerateCtx is Generate under a "generate" span.
+func GenerateCtx(ctx context.Context, dict *mining.Dictionary, pt *mining.PropTrace, pw *trace.Power, traceIdx int) (*Chain, error) {
+	_, span := obs.Start(ctx, "generate", obs.KV("trace", traceIdx))
+	c, err := Generate(dict, pt, pw, traceIdx)
+	if c != nil {
+		span.SetAttr("states", len(c.States))
+	}
+	span.End()
+	return c, err
+}
+
+// SimplifyCtx is Simplify under a "simplify" span, with the context's
+// provenance log and merge counters attached. The produced chain is
+// identical to Simplify's for any context.
+func SimplifyCtx(ctx context.Context, c *Chain, policy MergePolicy) *Chain {
+	_, span := obs.Start(ctx, "simplify", obs.KV("trace", c.Trace), obs.KV("states_in", len(c.States)))
+	out := simplifyWith(newMerger(ctx, policy, phaseSimplify, c.Trace), c)
+	span.SetAttr("states_out", len(out.States))
+	span.End()
+	return out
+}
+
+// JoinPooledCtx is JoinPooled under a "collapse" span, with the
+// context's provenance log and merge counters attached. The produced
+// model is identical to JoinPooled's for any context.
+func JoinPooledCtx(ctx context.Context, m *Model, policy MergePolicy) *Model {
+	_, span := obs.Start(ctx, "collapse", obs.KV("states_in", len(m.States)))
+	out := joinPooledWith(newMerger(ctx, policy, phaseJoin, -1), m)
+	span.SetAttr("states_out", len(out.States))
+	span.End()
+	return out
+}
+
+// CalibrateCtx is Calibrate under a "calibrate" span; the number of
+// fitted states feeds the psm_calibration_fits_total counter.
+func CalibrateCtx(ctx context.Context, m *Model, fts []*trace.Functional, pws []*trace.Power, inputCols []int, policy CalibrationPolicy) int {
+	_, span := obs.Start(ctx, "calibrate", obs.KV("states", len(m.States)))
+	n := Calibrate(m, fts, pws, inputCols, policy)
+	span.SetAttr("fits", n)
+	span.End()
+	obs.RegistryFrom(ctx).Counter("psm_calibration_fits_total").Add(int64(n))
+	return n
+}

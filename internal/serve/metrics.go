@@ -2,11 +2,11 @@ package serve
 
 import (
 	"encoding/json"
-	"expvar"
 	"fmt"
 	"net/http"
 	"time"
 
+	"psmkit/internal/obs"
 	"psmkit/internal/stream"
 )
 
@@ -55,28 +55,36 @@ func metricsOf(m stream.Metrics, uptime time.Duration) metricsDoc {
 	return doc
 }
 
-// handleMetrics renders the expvar document with the server's own "psmd"
-// section injected alongside the process-global vars (cmdline, memstats).
-// Each server renders its own engine's counters, so several servers in
-// one process — the test suite, say — never contend over the global
-// expvar namespace.
+// handleMetrics renders the metrics surface. The default is the
+// expvar-style JSON document with the server's own "psmd" section (one
+// consistent engine epoch — see stream.Engine.Metrics) injected
+// alongside the process-global vars (cmdline, memstats) via
+// obs.WriteExpvarJSON — each server renders its own engine's counters,
+// so several servers in one process never contend over the global
+// expvar namespace. ?format=prometheus serves the engine registry in
+// the Prometheus text exposition format instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	fmt.Fprintf(w, "{\n")
-	own, err := json.Marshal(metricsOf(s.eng.Metrics(), time.Since(s.start)))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		//psmlint:ignore err-drop response already committed; a write error here means the client left
+		obs.WriteExpvarJSON(w, map[string]interface{}{
+			"psmd":          metricsOf(s.eng.Metrics(), time.Since(s.start)),
+			"psmd_registry": s.eng.Registry().Snapshot(),
+		})
+	case "prometheus":
+		reg := s.eng.Registry()
+		reg.Gauge("psmd_uptime_seconds").Set(time.Since(s.start).Seconds())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//psmlint:ignore err-drop response already committed; a write error here means the client left
+		reg.WritePrometheus(w)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (json|prometheus)", format), http.StatusBadRequest)
 	}
-	fmt.Fprintf(w, "%q: %s", "psmd", own)
-	expvar.Do(func(kv expvar.KeyValue) {
-		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value)
-	})
-	fmt.Fprintf(w, "\n}\n")
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

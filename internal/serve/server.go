@@ -18,8 +18,13 @@
 //	POST /v1/estimate — co-simulate an NDJSON functional stream against
 //	                    the live model and return the power estimate
 //	                    (and the MRE when reference powers are present).
+//	GET  /v1/provenance — the merge-provenance audit log of the live
+//	                    model as NDJSON: one Section IV-A mergeability
+//	                    decision per line, canonically ordered (equal to
+//	                    `psmreport provenance` over the same traces).
 //	GET  /metrics     — expvar-style JSON: ingestion counters, join
-//	                    latency histogram, memstats.
+//	                    latency histogram, memstats
+//	                    (?format=prometheus for the text exposition).
 //	GET  /debug/pprof — the standard profiling handlers.
 package serve
 
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"psmkit/internal/check"
+	"psmkit/internal/obs"
 	"psmkit/internal/powersim"
 	"psmkit/internal/stats"
 	"psmkit/internal/stream"
@@ -49,6 +55,9 @@ type Config struct {
 	CheckOptions check.Options
 	// Sim parameterizes the estimation tracker.
 	Sim powersim.Config
+	// Tracer, when set, attaches to every request context: ingestion and
+	// snapshot spans stream to it as NDJSON (psmd -trace).
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns serving-grade defaults.
@@ -75,19 +84,27 @@ func New(cfg Config) *Server {
 // Engine exposes the underlying engine (tests, cmd wiring).
 func (s *Server) Engine() *stream.Engine { return s.eng }
 
-// Handler returns the route table.
+// Handler returns the route table. When the server has a tracer, every
+// request context carries it, so the engine's spans (ingest, snapshot,
+// simplify, collapse) report per request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/traces", s.handleTraces)
 	mux.HandleFunc("/v1/model", s.handleModel)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/provenance", s.handleProvenance)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	if s.cfg.Tracer == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mux.ServeHTTP(w, r.WithContext(obs.WithTracer(r.Context(), s.cfg.Tracer)))
+	})
 }
 
 // ingestResult is the response of a completed upload.
@@ -105,6 +122,8 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	_, span := obs.Start(r.Context(), "ingest")
+	defer span.End()
 	dec := stream.NewDecoder(r.Body, s.cfg.MaxLineBytes)
 	h, err := dec.ReadHeader()
 	if err != nil {
@@ -165,6 +184,8 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	span.SetAttr("trace", idx)
+	span.SetAttr("records", n)
 	writeJSON(w, http.StatusOK, ingestResult{Trace: idx, Records: n})
 }
 
@@ -209,6 +230,29 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, fmt.Sprintf("unknown format %q (json|dot)", format), http.StatusBadRequest)
 	}
+}
+
+// handleProvenance streams the merge-provenance audit log of the live
+// model as NDJSON, one mergeability decision per line — the same
+// decisions, in the same canonical order, as `psmreport provenance`
+// over the traces ingested so far (the parity is pinned by test).
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	ds, err := s.eng.Provenance(r.Context())
+	if err != nil {
+		code := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "no completed traces") {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	//psmlint:ignore err-drop response already committed; a write error here means the client left
+	obs.WriteDecisions(w, ds)
 }
 
 // estimateResult is the response of a co-simulation run.

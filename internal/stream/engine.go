@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"psmkit/internal/logic"
 	"psmkit/internal/mining"
+	"psmkit/internal/obs"
 	"psmkit/internal/pipeline"
 	"psmkit/internal/psm"
 	"psmkit/internal/trace"
@@ -35,6 +35,11 @@ type Config struct {
 	MaxRecords int
 	// MaxOpenSessions caps concurrently open sessions (0 = unlimited).
 	MaxOpenSessions int
+	// Registry receives the engine's metrics; nil gives the engine a
+	// private registry (Engine.Registry exposes it either way). Sharing
+	// one registry across engines in a process is the caller's choice —
+	// the counters are named per concern, not per engine.
+	Registry *obs.Registry
 }
 
 // DefaultConfig returns the paper-reproduction policies with serving-
@@ -73,7 +78,14 @@ type sessionData struct {
 	rows  int
 }
 
-// Metrics is a point-in-time snapshot of the engine's counters.
+// Metrics is a point-in-time snapshot of the engine's counters. All
+// fields except RecordsIngested are read in one critical section of the
+// engine lock — the same epoch as the model cache — so a /metrics
+// scrape cannot observe a half-applied session completion.
+// RecordsIngested is the one deliberately lock-free counter: it counts
+// appends the moment they land (including still-open sessions, rolled
+// back on abort), so it can run ahead of TracesCompleted but never
+// behind it.
 type Metrics struct {
 	RecordsIngested int64
 	OpenSessions    int
@@ -92,12 +104,15 @@ type Metrics struct {
 	// JoinNanos is the total time spent inside Snapshot; JoinLatency is
 	// its distribution (see LatencyBuckets).
 	JoinNanos   int64
-	JoinLatency [len(LatencyBuckets) + 1]int
+	JoinLatency []int
 }
 
-// LatencyBuckets are the upper bounds (exclusive, in milliseconds) of the
-// join latency histogram; the last histogram slot is the overflow.
-var LatencyBuckets = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000}
+// LatencyBuckets are the upper bounds (exclusive, in milliseconds) of
+// the join latency histogram; the overflow count follows the last
+// bucket. The geometry is exponential from 1µs so the sub-millisecond
+// joins a warm epoch cache produces spread over real buckets instead of
+// piling into the first one.
+var LatencyBuckets = obs.ExponentialBuckets(0.001, 4, 12)
 
 // Engine ingests trace sessions and serves live model snapshots.
 //
@@ -133,7 +148,19 @@ type Engine struct {
 	cfg        Config
 	candidates []mining.Atom // fixed per schema
 
-	records atomic.Int64 // ingested, including open sessions
+	// Registry-backed instruments (handles resolved once at construction;
+	// the registry itself serves Prometheus/JSON export). mRecords is the
+	// lock-free append counter; everything else mutates under mu only.
+	reg        *obs.Registry
+	mRecords   *obs.Counter
+	mTraces    *obs.Counter
+	mSnapshots *obs.Counter
+	mRebuilds  *obs.Counter
+	mJoinNanos *obs.Counter
+	gOpen      *obs.Gauge
+	gPooled    *obs.Gauge
+	gServed    *obs.Gauge
+	hJoin      *obs.Histogram
 
 	mu        sync.Mutex
 	schema    []trace.Signal
@@ -148,21 +175,34 @@ type Engine struct {
 	chains  []*psm.Chain // per completed session; nil entry = too short
 	pool    *psm.Model   // Concat fold of pooled non-nil chains[0:built]
 	built   int
-	// metrics
-	snapshots    int
-	rebuilds     int
-	statesPooled int
-	statesServed int
-	joinNanos    int64
-	joinHist     [len(LatencyBuckets) + 1]int
 }
 
 // NewEngine returns an engine with no schema yet: the first session's
 // header fixes it, exactly like the first trace of a batch run fixes the
 // miner's schema.
 func NewEngine(cfg Config) *Engine {
-	return &Engine{cfg: cfg}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Engine{
+		cfg:        cfg,
+		reg:        reg,
+		mRecords:   reg.Counter("psmd_records_ingested_total"),
+		mTraces:    reg.Counter("psmd_traces_completed_total"),
+		mSnapshots: reg.Counter("psmd_snapshots_total"),
+		mRebuilds:  reg.Counter("psmd_rebuilds_total"),
+		mJoinNanos: reg.Counter("psmd_join_nanos_total"),
+		gOpen:      reg.Gauge("psmd_sessions_open"),
+		gPooled:    reg.Gauge("psmd_states_pooled"),
+		gServed:    reg.Gauge("psmd_states_served"),
+		hJoin:      reg.Histogram("psmd_join_latency_ms", LatencyBuckets),
+	}
 }
+
+// Registry exposes the engine's metrics registry (for export surfaces
+// like psmd's /metrics).
+func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // Session is one open trace being streamed in. It is single-producer:
 // Append/Close/Abort must not be called concurrently on the same session,
@@ -203,6 +243,7 @@ func (e *Engine) Open(sigs []trace.Signal) (*Session, error) {
 		return nil, fmt.Errorf("stream: session schema differs from the engine's (%d signals)", len(e.schema))
 	}
 	e.openCount++
+	e.gOpen.Set(float64(e.openCount))
 	return &Session{
 		e:      e,
 		obs:    mining.NewObserver(e.candidates),
@@ -268,7 +309,7 @@ func (s *Session) Append(row []logic.Vector, power float64) error {
 	copy(s.prev, row)
 
 	d.rows++
-	s.e.records.Add(1)
+	s.e.mRecords.Inc()
 	return nil
 }
 
@@ -288,12 +329,14 @@ func (s *Session) Close() (traceIdx int, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.openCount--
+	e.gOpen.Set(float64(e.openCount))
 	if s.data.rows == 0 {
 		return 0, fmt.Errorf("stream: session is empty")
 	}
 	mining.MergeStats(e.stats, s.obs.Stats())
 	e.totalRows += s.data.rows
 	e.completed = append(e.completed, s.data)
+	e.mTraces.Inc()
 	return len(e.completed) - 1, nil
 }
 
@@ -306,7 +349,8 @@ func (s *Session) Abort() {
 	s.done = true
 	s.e.mu.Lock()
 	s.e.openCount--
-	s.e.records.Add(-int64(s.data.rows))
+	s.e.gOpen.Set(float64(s.e.openCount))
+	s.e.mRecords.Add(-int64(s.data.rows))
 	s.e.mu.Unlock()
 }
 
@@ -315,6 +359,8 @@ func (s *Session) Abort() {
 // ctx aborts the chain fan-out with ctx.Err().
 func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 	start := time.Now()
+	ctx, span := obs.Start(ctx, "snapshot")
+	defer span.End()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -339,7 +385,8 @@ func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 		e.chains = nil
 		e.pool = nil
 		e.built = 0
-		e.rebuilds++
+		e.mRebuilds.Inc()
+		span.SetAttr("rebuild", true)
 	}
 
 	// Sequential phase: intern new sessions' run signatures in trace
@@ -353,9 +400,9 @@ func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 	// Parallel phase: per-session segmentation + Simplify over the
 	// pipeline pool.
 	newChains := make([]*psm.Chain, len(e.completed)-first)
-	err := pipeline.ForEach(ctx, e.cfg.workers(), len(newChains), func(_ context.Context, k int) error {
+	err := pipeline.ForEach(ctx, e.cfg.workers(), len(newChains), func(wctx context.Context, k int) error {
 		i := first + k
-		newChains[k] = chainOfSession(e.dict, propIDs[i], i, e.completed[i], e.cfg.Merge)
+		newChains[k] = chainOfSession(wctx, e.dict, propIDs[i], i, e.completed[i], e.cfg.Merge)
 		return nil
 	})
 	if err != nil {
@@ -387,53 +434,100 @@ func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 
 	snap := psm.CloneModel(e.pool)
 	pooled := len(snap.States)
-	psm.JoinPooled(snap, e.cfg.Merge)
+	psm.JoinPooledCtx(ctx, snap, e.cfg.Merge)
 	if !e.cfg.SkipCalibration {
 		hds := make([][]float64, len(e.completed))
 		pws := make([][]float64, len(e.completed))
 		for i, d := range e.completed {
 			hds[i], pws[i] = d.hd, d.power
 		}
-		psm.CalibrateSeries(snap, hds, pws, e.cfg.Calibration)
+		_, calSpan := obs.Start(ctx, "calibrate")
+		fits := psm.CalibrateSeries(snap, hds, pws, e.cfg.Calibration)
+		calSpan.SetAttr("fits", fits)
+		calSpan.End()
 	}
 	// Served models must outlive future interning: freeze a private
 	// dictionary copy so EvalRow readers never race Snapshot's writes.
 	snap.Dict = mining.FromSnapshot(e.dict.Snapshot())
 
-	e.snapshots++
-	e.statesPooled = pooled
-	e.statesServed = len(snap.States)
+	e.mSnapshots.Inc()
+	e.gPooled.Set(float64(pooled))
+	e.gServed.Set(float64(len(snap.States)))
 	el := time.Since(start)
-	e.joinNanos += el.Nanoseconds()
-	ms := float64(el.Nanoseconds()) / 1e6
-	slot := len(LatencyBuckets)
-	for bi, ub := range LatencyBuckets {
-		if ms < ub {
-			slot = bi
-			break
-		}
-	}
-	e.joinHist[slot]++
+	e.mJoinNanos.Add(el.Nanoseconds())
+	e.hJoin.Observe(float64(el.Nanoseconds()) / 1e6)
+	span.SetAttr("states", len(snap.States))
 	return snap, nil
 }
 
-// Metrics returns the current counters.
+// Metrics returns the current counters. Everything except
+// RecordsIngested is captured in one critical section of the engine
+// lock — the epoch the model cache lives under — so a concurrent
+// session completion either shows up in full or not at all (see the
+// Metrics type).
 func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	hs := e.hJoin.Snapshot()
 	m := Metrics{
-		RecordsIngested: e.records.Load(),
+		RecordsIngested: e.mRecords.Value(),
 		OpenSessions:    e.openCount,
 		TracesCompleted: len(e.completed),
-		Snapshots:       e.snapshots,
-		Rebuilds:        e.rebuilds,
-		StatesPooled:    e.statesPooled,
-		StatesServed:    e.statesServed,
-		StatesMerged:    e.statesPooled - e.statesServed,
-		JoinNanos:       e.joinNanos,
+		Snapshots:       int(e.mSnapshots.Value()),
+		Rebuilds:        int(e.mRebuilds.Value()),
+		StatesPooled:    int(e.gPooled.Value()),
+		StatesServed:    int(e.gServed.Value()),
+		JoinNanos:       e.mJoinNanos.Value(),
+		JoinLatency:     make([]int, len(hs.Counts)),
 	}
-	m.JoinLatency = e.joinHist
+	m.StatesMerged = m.StatesPooled - m.StatesServed
+	for i, n := range hs.Counts {
+		m.JoinLatency[i] = int(n)
+	}
 	return m
+}
+
+// Provenance re-derives every mergeability decision of the current
+// model — the audit trail behind GET /v1/provenance — by replaying the
+// full build (fresh dictionary, per-session simplify, pooled collapse)
+// with a recording merger attached. The replay runs under the engine
+// lock but never touches the epoch cache, so serving provenance cannot
+// perturb snapshot incrementality; and because it follows the exact
+// batch order (sessions in completion order, one sequential collapse),
+// the decisions equal `psmreport provenance` over the same traces.
+func (e *Engine) Provenance(ctx context.Context) ([]obs.MergeDecision, error) {
+	ctx, span := obs.Start(ctx, "provenance")
+	defer span.End()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if len(e.completed) == 0 {
+		return nil, fmt.Errorf("stream: no completed traces")
+	}
+	idx := mining.SelectIndices(e.candidates, e.stats, e.totalRows, e.cfg.Mining)
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("stream: no atomic proposition survived filtering (%d candidates over %d instants)",
+			len(e.candidates), e.totalRows)
+	}
+	kept := make([]mining.Atom, len(idx))
+	for i, ci := range idx {
+		kept[i] = e.candidates[ci]
+	}
+	dict := mining.NewDictionary(e.schema, kept)
+
+	log := obs.NewProvenanceLog()
+	ctx = obs.WithProvenance(ctx, log)
+	chains := make([]*psm.Chain, 0, len(e.completed))
+	for i, d := range e.completed {
+		c := chainOfSession(ctx, dict, propIDsOf(dict, idx, d), i, d, e.cfg.Merge)
+		if c == nil {
+			return nil, fmt.Errorf("stream: trace %d: proposition trace too short to expose a temporal pattern", i)
+		}
+		chains = append(chains, c)
+	}
+	psm.JoinPooledCtx(ctx, psm.Pool(chains), e.cfg.Merge)
+	span.SetAttr("decisions", log.Len())
+	return log.Decisions(), nil
 }
 
 func inputColumns(sigs []trace.Signal, names []string) ([]int, error) {

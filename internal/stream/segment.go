@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"context"
+
 	"psmkit/internal/mining"
 	"psmkit/internal/psm"
 	"psmkit/internal/stats"
@@ -116,8 +118,10 @@ func propIDsOf(dict *mining.Dictionary, keptIdx []int, s *sessionData) []int {
 // chainOfSession builds the session's simplified chain from pre-interned
 // per-run proposition ids. It touches no shared state, so sessions fan
 // out over the pipeline pool. A nil return mirrors psm.Generate's "trace
-// too short" error.
-func chainOfSession(dict *mining.Dictionary, propIDs []int, traceIdx int, s *sessionData, merge psm.MergePolicy) *psm.Chain {
+// too short" error. The context's obs sinks (spans, provenance,
+// counters) attach to the simplify pass — the chain is the same either
+// way.
+func chainOfSession(ctx context.Context, dict *mining.Dictionary, propIDs []int, traceIdx int, s *sessionData, merge psm.MergePolicy) *psm.Chain {
 	var runs []Run
 	seg := NewSegmenter(func(r Run) { runs = append(runs, r) })
 	t := 0
@@ -132,5 +136,5 @@ func chainOfSession(dict *mining.Dictionary, propIDs []int, traceIdx int, s *ses
 	if c == nil {
 		return nil
 	}
-	return psm.Simplify(c, merge)
+	return psm.SimplifyCtx(ctx, c, merge)
 }

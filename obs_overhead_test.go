@@ -1,0 +1,82 @@
+package psmkit
+
+import (
+	"context"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"psmkit/internal/experiment"
+	"psmkit/internal/obs"
+	"psmkit/internal/pipeline"
+	"psmkit/internal/testbench"
+)
+
+// TestObsOverheadGate is the `make bench-obs` gate: the observability
+// layer must be free when off and near-free when on. It times the
+// BenchmarkParallelPSMGeneration workload (RAM short-TS through the
+// parallel pipeline) with a plain context — the nil fast path every
+// production call takes when no -trace/-metrics/-provenance flag is set
+// — against the fully instrumented run (span events to io.Discard, live
+// registry, live provenance log), and requires the instrumented
+// min-of-N wall clock within 2% of the plain one. The comparison bounds
+// the disabled path from above: whatever the nil checks cost is
+// included in both arms.
+//
+// Wall-clock gates are noisy by nature, so the test only runs under
+// BENCH_OBS=1 (CI: `make bench-obs`), interleaves the arms and takes
+// the minimum over several rounds to shed scheduler and cache noise.
+func TestObsOverheadGate(t *testing.T) {
+	if os.Getenv("BENCH_OBS") == "" {
+		t.Skip("set BENCH_OBS=1 (or run `make bench-obs`) to run the overhead gate")
+	}
+	c, err := experiment.CaseByName("RAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := experiment.GenerateTraces(c, c.ShortTS, experiment.Pieces,
+		testbench.Options{Seed: c.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := experiment.DefaultPolicies()
+	cfg := pipeline.Config{Mining: pol.Mining, Merge: pol.Merge, Calibration: pol.Calibration}
+
+	build := func(ctx context.Context) time.Duration {
+		start := time.Now()
+		if _, err := pipeline.BuildModel(ctx, ts.FTs, ts.PWs, ts.InputCols, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	plainArm := func() time.Duration { return build(context.Background()) }
+	obsArm := func() time.Duration {
+		// Fresh sinks per round: a shared provenance log would grow
+		// round over round and bill earlier rounds' garbage to later ones.
+		ctx := obs.WithTracer(context.Background(), obs.NewTracer(io.Discard))
+		ctx = obs.WithRegistry(ctx, obs.NewRegistry())
+		ctx = obs.WithProvenance(ctx, obs.NewProvenanceLog())
+		return build(ctx)
+	}
+
+	plainArm() // warm both arms before timing
+	obsArm()
+	const rounds = 7
+	minPlain, minObs := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < rounds; i++ {
+		if d := plainArm(); d < minPlain {
+			minPlain = d
+		}
+		if d := obsArm(); d < minObs {
+			minObs = d
+		}
+	}
+
+	overhead := float64(minObs-minPlain) / float64(minPlain)
+	t.Logf("plain %v, instrumented %v, overhead %+.2f%%", minPlain, minObs, 100*overhead)
+	if overhead > 0.02 {
+		t.Fatalf("instrumented generation is %.2f%% slower than plain (min over %d rounds: %v vs %v); budget is 2%%",
+			100*overhead, rounds, minObs, minPlain)
+	}
+}
