@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fmt vet lint verify fuzz psmd-smoke bench-obs ci
+.PHONY: build test race fmt vet lint verify fuzz psmd-smoke bench-obs bench-join ci
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,14 @@ psmd-smoke:
 # every untraced production call takes.
 bench-obs:
 	BENCH_OBS=1 $(GO) test -run TestObsOverheadGate -count=1 -v .
+
+# Join-engine scaling gate: the worklist join must beat the restart-scan
+# reference by >=5x wall clock with strictly fewer Evaluate calls on the
+# adversarial 1200-state model (the gate only runs under BENCH_JOIN=1),
+# then the sweep refreshes the committed BENCH_join.json.
+bench-join:
+	BENCH_JOIN=1 $(GO) test -run TestJoinScalingGate -count=1 -v .
+	$(GO) run ./scripts/bench_join
 
 # Short fuzz smoke: run each native fuzz target for a few seconds on top
 # of its committed seed corpus (testdata/fuzz/). Longer sessions: raise

@@ -55,6 +55,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", serve.DefaultConfig().Stream.MaxOpenSessions, "concurrently open upload sessions (0 = unlimited)")
 	maxLine := flag.Int("max-line-bytes", 1<<20, "NDJSON line length limit for uploads")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for snapshot rebuilds (model is identical for any value)")
+	joinMemo := flag.Int("join-memo", 0, "merge-verdict memo entry bound for the incremental join (0 = package default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	tracePath := flag.String("trace", "", "write NDJSON span events (ingest, snapshot, join) to this file; prints the span summary at shutdown")
 	flag.Parse()
@@ -66,6 +67,7 @@ func main() {
 	cfg.Stream.Calibration = psm.CalibrationPolicy{MaxCV: *maxCV, MinR: *minR}
 	cfg.Stream.MaxRecords = *maxRecords
 	cfg.Stream.MaxOpenSessions = *maxSessions
+	cfg.Stream.JoinMemoEntries = *joinMemo
 	cfg.MaxLineBytes = *maxLine
 	if *inputs != "" {
 		cfg.Stream.Inputs = strings.Split(*inputs, ",")

@@ -1,0 +1,70 @@
+// Package joinbench builds adversarial pooled models for the join-engine
+// scaling benchmarks: mergeable-heavy state sets on which the historical
+// restart-scan fixpoint pays a fresh O(n²) evaluation sweep per collapse
+// (~O(n³) total) while the worklist engine pays one seeding sweep plus
+// O(n) re-probes per collapse. The same generator feeds
+// BenchmarkJoinScaling, the BENCH_JOIN=1 regression gate and
+// scripts/bench_join, so the committed BENCH_join.json numbers are
+// reproducible from either entry point.
+package joinbench
+
+import (
+	"psmkit/internal/psm"
+	"psmkit/internal/stats"
+)
+
+// StatesPerGroup is the number of pooled states each group contributes.
+const StatesPerGroup = 3
+
+// Model builds a pooled (pre-collapse) model of `groups` three-state
+// groups, 3·groups states total. Group g's power levels are scaled by
+// 1.25^g, far outside every merge tolerance, so groups never interact;
+// within a group the states are tuned to the default policy's
+// thresholds so that the join's two phases each fire exactly once:
+//
+//   - X (μ=1.0, n=2, σ=0) and Y (μ=1.0995, n=2, σ=0): relative
+//     difference 0.0905 — the degenerate-Welch ε check (0.05) rejects;
+//   - Z (μ=1.048, n=200, σ=0): against X the relative difference is
+//     0.0458 ≤ ε, so phase 1 folds Z into X, dragging the pooled mean to
+//     μ≈1.0475 and making its variance positive;
+//   - phase 2 then accepts (X′, Y): relative difference 0.0473 ≤ the
+//     equivalence margin — a merge that only becomes possible after the
+//     phase-1 pooling, which is exactly the fixpoint's reason to exist.
+//
+// Every group therefore forces one phase-2 collapse; the restart scan
+// pays a full pair sweep per group while the worklist re-probes one
+// row. The collapsed model has exactly `groups` states (asserted by the
+// regression gate).
+func Model(groups int) *psm.Model {
+	m := &psm.Model{Initials: make(map[int]int, groups)}
+	scale := 1.0
+	for g := 0; g < groups; g++ {
+		base := len(m.States)
+		for k, spec := range [StatesPerGroup]struct {
+			mu float64
+			n  int
+		}{{1.0, 2}, {1.0995, 2}, {1.048, 200}} {
+			vals := make([]float64, spec.n)
+			for i := range vals {
+				vals[i] = spec.mu * scale
+			}
+			id := base + k
+			m.States = append(m.States, &psm.State{
+				ID: id,
+				Alts: []psm.Alt{{
+					Seq:   psm.Sequence{Phases: []psm.Phase{{Prop: id, Kind: psm.Until}}},
+					Count: 1,
+				}},
+				Power:     stats.MomentsOf(vals),
+				Intervals: []psm.Interval{{Trace: g, Start: k * 10, Stop: k*10 + spec.n - 1}},
+			})
+		}
+		m.Transitions = append(m.Transitions,
+			psm.Transition{From: base, To: base + 1, Enabling: base + 1, Count: 1},
+			psm.Transition{From: base + 1, To: base + 2, Enabling: base + 2, Count: 1},
+		)
+		m.Initials[base]++
+		scale *= 1.25
+	}
+	return m
+}

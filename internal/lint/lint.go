@@ -6,6 +6,7 @@
 //	nan-guard    float division whose denominator has no zero guard
 //	err-drop     call statements discarding an error result
 //	obs-metrics  expvar imported outside internal/obs (the metrics facade)
+//	merge-fixpoint  restart-scan merge fixpoints over .States outside internal/psm
 //
 // Packages are loaded and type-checked from source. Imports inside the
 // current module resolve through the module tree; everything else (the
@@ -55,7 +56,7 @@ type Rule interface {
 
 // Rules returns every registered code rule.
 func Rules() []Rule {
-	return []Rule{floatEqRule{}, nanGuardRule{}, errDropRule{}, obsMetricsRule{}}
+	return []Rule{floatEqRule{}, nanGuardRule{}, errDropRule{}, obsMetricsRule{}, mergeFixpointRule{}}
 }
 
 // Package is one loaded, type-checked package.

@@ -401,3 +401,93 @@ func (obsMetricsRule) Check(p *Package) []Finding {
 	}
 	return out
 }
+
+// --- merge-fixpoint ----------------------------------------------------------
+
+// mergeFixpointRule flags restart-the-world merge fixpoints: an outer
+// loop that re-runs a quadratic pair scan over a model's .States slice
+// after every mutation, paying O(n²) merge evaluations per collapse
+// (~O(n³) total). The blessed join engine lives in internal/psm — a
+// version-stamped worklist plus verdict memo that produces the identical
+// model with O(n) re-probes per collapse — so state merging anywhere
+// else should go through psm.JoinPooled / psm.Joiner rather than
+// reimplementing the scan. internal/psm itself is exempt: it keeps the
+// reference restart scan for provenance ordering and differential tests.
+type mergeFixpointRule struct{}
+
+func (mergeFixpointRule) ID() string { return "merge-fixpoint" }
+
+func (mergeFixpointRule) Check(p *Package) []Finding {
+	if p.Path == "internal/psm" || strings.HasSuffix(p.Path, "/internal/psm") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var pos token.Pos
+			var body *ast.BlockStmt
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				pos, body = l.For, l.Body
+			case *ast.RangeStmt:
+				pos, body = l.For, l.Body
+			default:
+				return true
+			}
+			if statesScanDepth(body) >= 2 {
+				out = append(out, Finding{
+					Rule: "merge-fixpoint",
+					Pos:  p.Fset.Position(pos),
+					Msg: "restart-scan merge fixpoint over .States (O(n³) evaluations); " +
+						"use the worklist join engine (psm.JoinPooled / psm.Joiner) instead",
+				})
+				return false // one finding per fixpoint, not per nesting level
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// statesScanDepth returns the maximum nesting depth of loops inside body
+// that iterate a .States slice — a range over it, or a counted for loop
+// whose condition mentions it (i < len(m.States)). A depth of 2 under an
+// enclosing loop is the restart-fixpoint shape the rule flags; a bare
+// pair scan (depth 2 with no driver loop around it) is not.
+func statesScanDepth(body ast.Node) int {
+	depth := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		var scan ast.Expr
+		var inner *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.RangeStmt:
+			scan, inner = l.X, l.Body
+		case *ast.ForStmt:
+			scan, inner = l.Cond, l.Body
+		default:
+			return true
+		}
+		d := statesScanDepth(inner)
+		if scan != nil && mentionsStates(scan) {
+			d++
+		}
+		if d > depth {
+			depth = d
+		}
+		return false // inner loops handled by the recursive call
+	})
+	return depth
+}
+
+// mentionsStates reports whether the expression selects a field or
+// method named States (m.States, x.pool.States, len(m.States), ...).
+func mentionsStates(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "States" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

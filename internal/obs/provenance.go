@@ -46,6 +46,12 @@ type MergeDecision struct {
 // safe; Decisions returns them in a canonical order independent of the
 // recording interleaving, so a parallel batch run, a sequential run and
 // the streaming engine produce identical logs over the same traces.
+// The join engine honors the same contract from the other side: when a
+// log is attached, the collapse runs its reference restart scan so join
+// decisions land in the canonical scan order (memoized verdicts still
+// record — a memo hit replays the cached outcome into the log), and the
+// worklist fast path is reserved for un-logged runs, which produce the
+// identical model.
 type ProvenanceLog struct {
 	mu sync.Mutex
 	ds []MergeDecision

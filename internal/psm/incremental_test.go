@@ -1,0 +1,353 @@
+package psm
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"psmkit/internal/stats"
+)
+
+// randMergeModel builds a pooled model whose power summaries cluster
+// around a few levels, so the join's phases make many real merge
+// decisions across all three policy cases (n=1 next-states, pooled
+// until-states, mixed).
+func randMergeModel(rng *rand.Rand) *Model {
+	levels := []float64{1.0, 1.03, 1.3, 2.0, 2.08, 3.5}
+	n := 20 + rng.Intn(40)
+	m := &Model{Initials: map[int]int{}}
+	for i := 0; i < n; i++ {
+		mu := levels[rng.Intn(len(levels))]
+		var vals []float64
+		switch rng.Intn(3) {
+		case 0: // next-state: single sample
+			vals = []float64{mu + 0.01*rng.NormFloat64()}
+		case 1: // small until-state
+			for k := 0; k < 2+rng.Intn(4); k++ {
+				vals = append(vals, mu+0.02*rng.NormFloat64())
+			}
+		default: // heavy until-state
+			for k := 0; k < 30+rng.Intn(40); k++ {
+				vals = append(vals, mu+0.02*rng.NormFloat64())
+			}
+		}
+		m.States = append(m.States, &State{
+			ID: i,
+			Alts: []Alt{{
+				Seq:   Sequence{Phases: []Phase{{Prop: rng.Intn(6), Kind: PatternKind(rng.Intn(2))}}},
+				Count: 1 + rng.Intn(2),
+			}},
+			Power:     stats.MomentsOf(vals),
+			Intervals: []Interval{{Trace: rng.Intn(4), Start: i * 10, Stop: i*10 + len(vals) - 1}},
+		})
+		if i > 0 {
+			m.Transitions = append(m.Transitions, Transition{
+				From: rng.Intn(i), To: i, Enabling: rng.Intn(6), Count: 1 + rng.Intn(3),
+			})
+		}
+	}
+	for k := 0; k < 1+rng.Intn(3); k++ {
+		m.Initials[rng.Intn(n)]++
+	}
+	return m
+}
+
+// joinReference runs the pre-worklist engine — unmemoized restart-scan
+// fixpoint — as the differential oracle.
+func joinReference(m *Model, policy MergePolicy) *Model {
+	mg := plainMerger(policy, phaseJoin, -1)
+	mg.memo = nil
+	mg.forceScan = true
+	return joinPooledWith(mg, m)
+}
+
+// TestWorklistMatchesReference is the engine-equivalence property: for
+// seeded random mergeable-heavy pools, the worklist fixpoint must
+// produce a model deeply identical to the historical restart scan —
+// same states in the same order with bit-identical pooled moments, same
+// transitions, same initials.
+func TestWorklistMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMergeModel(rng)
+		ref := joinReference(CloneModel(m), DefaultMergePolicy())
+		got := JoinPooled(CloneModel(m), DefaultMergePolicy())
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("seed %d: worklist join diverges from the reference scan\nref:  %d states %d transitions\ngot:  %d states %d transitions",
+				seed, len(ref.States), len(ref.Transitions), len(got.States), len(got.Transitions))
+		}
+	}
+}
+
+// TestWorklistMatchesReferenceTightPolicies re-runs the differential
+// property under policies that exercise the CV guard and a hair-trigger
+// epsilon, where accept/reject flips are most order-sensitive.
+func TestWorklistMatchesReferenceTightPolicies(t *testing.T) {
+	policies := []MergePolicy{
+		{Epsilon: 0.2, Alpha: 0.05, EquivalenceMargin: 0.15, MaxCV: 0.1},
+		{Epsilon: 0.01, Alpha: 0.5, EquivalenceMargin: 0.005, MaxCV: 0},
+	}
+	for _, pol := range policies {
+		for seed := int64(100); seed < 120; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			m := randMergeModel(rng)
+			ref := joinReference(CloneModel(m), pol)
+			got := JoinPooled(CloneModel(m), pol)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("seed %d policy %+v: worklist join diverges from the reference scan", seed, pol)
+			}
+		}
+	}
+}
+
+// TestJoinPooledIdempotent: joining an already-joined model must be the
+// identity — the fixpoint certified no pair merges, so a second pass
+// has nothing to do (and must not perturb order, counts or moments).
+func TestJoinPooledIdempotent(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		once := JoinPooled(randMergeModel(rng), DefaultMergePolicy())
+		twice := JoinPooled(CloneModel(once), DefaultMergePolicy())
+		if !reflect.DeepEqual(once, twice) {
+			t.Fatalf("seed %d: JoinPooled is not idempotent", seed)
+		}
+	}
+}
+
+// TestFindAliasDeepChain pins the union-find on a 5-deep alias cascade:
+// every node resolves to the root, and the walked chain is fully
+// compressed afterwards (each node points directly at the root).
+func TestFindAliasDeepChain(t *testing.T) {
+	alias := map[int]int{5: 4, 4: 3, 3: 2, 2: 1, 1: 0}
+	if got := findAlias(alias, 5); got != 0 {
+		t.Fatalf("findAlias(5) = %d, want 0", got)
+	}
+	for id := 1; id <= 5; id++ {
+		if alias[id] != 0 {
+			t.Fatalf("path not compressed: alias[%d] = %d, want 0", id, alias[id])
+		}
+	}
+	if got := findAlias(alias, 7); got != 7 {
+		t.Fatalf("findAlias of an unaliased id = %d, want 7", got)
+	}
+}
+
+// TestCollapseCascadeResolvesTransitions drives collapse through a
+// 4-deep merge cascade (4←3, 3←2, 2←1, 1←0 by id) and requires
+// resolveTransitions to chase every endpoint to the sole survivor and
+// aggregate the parallel edges it creates.
+func TestCollapseCascadeResolvesTransitions(t *testing.T) {
+	m := &Model{Initials: map[int]int{0: 1, 4: 2}}
+	for i := 0; i < 5; i++ {
+		m.States = append(m.States, &State{
+			ID:        i,
+			Alts:      []Alt{{Seq: Sequence{Phases: []Phase{{Prop: i, Kind: Until}}}, Count: 1}},
+			Power:     stats.MomentsOf([]float64{1, 1}),
+			Intervals: []Interval{{Trace: 0, Start: i, Stop: i}},
+		})
+	}
+	for i := 0; i < 4; i++ {
+		// One shared enabling prop, so the post-cascade self-loops are
+		// parallel edges that must aggregate into a single transition.
+		m.Transitions = append(m.Transitions, Transition{From: i, To: i + 1, Enabling: 9, Count: 1})
+	}
+	alias := map[int]int{}
+	// Collapse back to front so each survivor is itself merged next:
+	// alias chains 4→3→2→1→0 (depth 4).
+	for id := 4; id >= 1; id-- {
+		bi := -1
+		for i, s := range m.States {
+			if s.ID == id {
+				bi = i
+			}
+		}
+		collapse(m, alias, 0, bi)
+	}
+	if len(m.States) != 1 || m.States[0].ID != 0 {
+		t.Fatalf("cascade left %d states (first id %d), want the single root 0",
+			len(m.States), m.States[0].ID)
+	}
+	resolveTransitions(m, alias)
+	if len(m.Transitions) != 1 {
+		t.Fatalf("resolved transitions: %+v, want one aggregated self-loop", m.Transitions)
+	}
+	tr := m.Transitions[0]
+	if tr.From != 0 || tr.To != 0 || tr.Count != 4 {
+		t.Fatalf("aggregated transition %+v, want 0→0 with count 4", tr)
+	}
+	if m.Initials[0] != 3 {
+		t.Fatalf("initials %v, want all 3 on the root", m.Initials)
+	}
+	if got := m.States[0].Power.N; got != 10 {
+		t.Fatalf("pooled evidence n = %d, want 10", got)
+	}
+}
+
+// randChains builds simplified-shaped chains (single-alt states, one
+// initial per chain) for the Joiner equivalence property.
+func randChains(rng *rand.Rand) []*Chain {
+	levels := []float64{1.0, 1.04, 1.9, 2.0}
+	nChains := 1 + rng.Intn(5)
+	chains := make([]*Chain, nChains)
+	for ci := range chains {
+		n := 2 + rng.Intn(8)
+		c := &Chain{Trace: ci}
+		for i := 0; i < n; i++ {
+			mu := levels[rng.Intn(len(levels))]
+			var vals []float64
+			for k := 0; k < 1+rng.Intn(20); k++ {
+				vals = append(vals, mu+0.02*rng.NormFloat64())
+			}
+			c.States = append(c.States, &State{
+				ID: i,
+				Alts: []Alt{{
+					Seq:   Sequence{Phases: []Phase{{Prop: rng.Intn(5), Kind: PatternKind(rng.Intn(2))}}},
+					Count: 1,
+				}},
+				Power:     stats.MomentsOf(vals),
+				Intervals: []Interval{{Trace: ci, Start: i * 5, Stop: i*5 + len(vals) - 1}},
+			})
+		}
+		chains[ci] = c
+	}
+	return chains
+}
+
+// TestJoinerMatchesJoin is the streaming-fold equivalence property: for
+// seeded random chain sets, folding chain by chain through a Joiner and
+// snapshotting after every prefix must deeply equal the batch Join over
+// that prefix — including intermediate snapshots, which is exactly what
+// psmd serves between session completions.
+func TestJoinerMatchesJoin(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		chains := randChains(rng)
+		j := NewJoiner(DefaultMergePolicy())
+		for k, c := range chains {
+			j.Add(ctx, c)
+			got := j.Snapshot(ctx)
+			want := Join(chains[:k+1], DefaultMergePolicy())
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d prefix %d: joiner snapshot diverges from batch join (%d vs %d states)",
+					seed, k+1, len(got.States), len(want.States))
+			}
+		}
+	}
+}
+
+// TestJoinerSnapshotDoesNotMutateFold: snapshots collapse a clone, so
+// consecutive snapshots with no Add in between must be deeply equal,
+// and a snapshot must not corrupt a later incremental fold.
+func TestJoinerSnapshotDoesNotMutateFold(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	chains := randChains(rng)
+	j := NewJoiner(DefaultMergePolicy())
+	for _, c := range chains[:len(chains)-1] {
+		j.Add(ctx, c)
+	}
+	a := j.Snapshot(ctx)
+	b := j.Snapshot(ctx)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("back-to-back joiner snapshots differ: the collapse mutated the fold")
+	}
+	j.Add(ctx, chains[len(chains)-1])
+	got := j.Snapshot(ctx)
+	want := Join(chains, DefaultMergePolicy())
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("fold after an interleaved snapshot diverges from batch join")
+	}
+}
+
+// TestJoinerResetKeepsMemo: an epoch reset voids the fold but not the
+// verdict memo (verdicts are pure in the power moments).
+func TestJoinerResetKeepsMemo(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	chains := randChains(rng)
+	j := NewJoiner(DefaultMergePolicy())
+	for _, c := range chains {
+		j.Add(ctx, c)
+	}
+	j.Snapshot(ctx)
+	evals, len0 := j.Memo().Evals(), j.Memo().Len()
+	if evals == 0 || len0 == 0 {
+		t.Fatalf("memo unused by the fold: %d evals, %d entries", evals, len0)
+	}
+	j.Reset()
+	if j.Pooled() != 0 {
+		t.Fatalf("reset left %d pooled states", j.Pooled())
+	}
+	if j.Memo().Len() != len0 {
+		t.Fatalf("reset dropped the memo: %d entries, want %d", j.Memo().Len(), len0)
+	}
+	// Re-folding the same chains after the reset must be all memo hits.
+	hits0 := j.Memo().Hits()
+	for _, c := range chains {
+		j.Add(ctx, c)
+	}
+	got := j.Snapshot(ctx)
+	if j.Memo().Evals() != evals {
+		t.Fatalf("re-fold recomputed verdicts: %d evals, want %d", j.Memo().Evals(), evals)
+	}
+	if j.Memo().Hits() == hits0 {
+		t.Fatal("re-fold never hit the memo")
+	}
+	if want := Join(chains, DefaultMergePolicy()); !reflect.DeepEqual(want, got) {
+		t.Fatal("post-reset re-fold diverges from batch join")
+	}
+}
+
+// TestEvalMemo pins the memo's accounting: first sight computes, repeat
+// sight hits, and the ordered key distinguishes (a,b) from (b,a).
+func TestEvalMemo(t *testing.T) {
+	mo := NewEvalMemo(DefaultMergePolicy())
+	a := stats.MomentsOf([]float64{1, 1.01, 0.99})
+	b := stats.MomentsOf([]float64{2, 2.02})
+	out := mo.Evaluate(a, b)
+	if mo.Evals() != 1 || mo.Hits() != 0 {
+		t.Fatalf("first evaluate: %d evals %d hits, want 1/0", mo.Evals(), mo.Hits())
+	}
+	if again := mo.Evaluate(a, b); again != out {
+		t.Fatalf("memoized verdict differs: %+v vs %+v", again, out)
+	}
+	if mo.Evals() != 1 || mo.Hits() != 1 {
+		t.Fatalf("repeat evaluate: %d evals %d hits, want 1/1", mo.Evals(), mo.Hits())
+	}
+	if mo.Evaluate(b, a) != DefaultMergePolicy().Evaluate(b, a) {
+		t.Fatal("swapped operand order must be keyed separately")
+	}
+	if mo.Evals() != 2 {
+		t.Fatalf("swapped order was served from cache: %d evals, want 2", mo.Evals())
+	}
+	if got := mo.Policy(); got != DefaultMergePolicy() {
+		t.Fatalf("memo policy %+v, want the default", got)
+	}
+}
+
+// TestEvalMemoLimit: at the entry bound the memo resets wholesale and
+// keeps serving exact verdicts.
+func TestEvalMemoLimit(t *testing.T) {
+	mo := NewEvalMemo(DefaultMergePolicy())
+	mo.SetLimit(4)
+	ref := stats.MomentsOf([]float64{1, 1})
+	for i := 0; i < 10; i++ {
+		mo.Evaluate(ref, stats.MomentsOf([]float64{float64(i + 2), float64(i + 2)}))
+	}
+	if mo.Len() > 4 {
+		t.Fatalf("memo holds %d entries beyond the limit 4", mo.Len())
+	}
+	if mo.Evals() != 10 {
+		t.Fatalf("%d evals for 10 distinct pairs, want 10", mo.Evals())
+	}
+	out := mo.Evaluate(ref, ref)
+	if !out.Accept {
+		t.Fatal("identical moments must merge after a reset")
+	}
+	mo.SetLimit(0)
+	if mo.limit != defaultMemoEntries {
+		t.Fatalf("SetLimit(0) left limit %d, want the default", mo.limit)
+	}
+}

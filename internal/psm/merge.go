@@ -2,6 +2,7 @@ package psm
 
 import (
 	"math"
+	"sync"
 
 	"psmkit/internal/stats"
 )
@@ -271,7 +272,21 @@ func Join(chains []*Chain, policy MergePolicy) *Model {
 // assemble partial pools in any grouping and still reproduce the
 // sequential Join bit for bit.
 func Pool(chains []*Chain) *Model {
-	m := &Model{Initials: map[int]int{}}
+	// The exact output sizes are known up front (every chain contributes
+	// len(States) states, len(States)-1 transitions and one initial), so
+	// the hot snapshot path allocates each backing array once.
+	nStates, nTrans := 0, 0
+	for _, c := range chains {
+		nStates += len(c.States)
+		if len(c.States) > 1 {
+			nTrans += len(c.States) - 1
+		}
+	}
+	m := &Model{
+		States:      make([]*State, 0, nStates),
+		Transitions: make([]Transition, 0, nTrans),
+		Initials:    make(map[int]int, len(chains)),
+	}
 	if len(chains) > 0 {
 		m.Dict = chains[0].Dict
 	}
@@ -302,9 +317,19 @@ func Concat(a, b *Model) *Model {
 		a.Dict = b.Dict
 	}
 	base := len(a.States)
+	if need := base + len(b.States); cap(a.States) < need {
+		grown := make([]*State, base, need)
+		copy(grown, a.States)
+		a.States = grown
+	}
 	for _, s := range b.States {
 		s.ID += base
 		a.States = append(a.States, s)
+	}
+	if need := len(a.Transitions) + len(b.Transitions); cap(a.Transitions) < need {
+		grown := make([]Transition, len(a.Transitions), need)
+		copy(grown, a.Transitions)
+		a.Transitions = grown
 	}
 	for _, t := range b.Transitions {
 		a.Transitions = append(a.Transitions, Transition{
@@ -326,17 +351,38 @@ func JoinPooled(m *Model, policy MergePolicy) *Model {
 	return joinPooledWith(plainMerger(policy, phaseJoin, -1), m)
 }
 
-// joinPooledWith is JoinPooled routed through a merger (see
-// simplifyWith).
+// joinPooledWith routes JoinPooled through a merger (see simplifyWith)
+// and selects the collapse engine. The two engines produce bit-identical
+// models — the worklist performs exactly the restart scan's collapse
+// sequence (see collapseWorklist) — but they examine state pairs in
+// different orders, so when a provenance log is attached the canonical
+// restart-scan order is used: the audit log's decision sequence is a
+// documented, replayable format (internal/obs) that must not depend on
+// which engine produced the model. All repeated evaluations still hit
+// the mergeability memo either way.
 func joinPooledWith(mg merger, m *Model) *Model {
 	// Merged state ids are tracked in an alias table and the transitions
 	// are rewired once at the end — collapsing is then O(alts), not O(T).
 	alias := map[int]int{}
+	joinPhase1(&mg, m, alias)
+	if mg.prov != nil || mg.forceScan {
+		joinFixpointScan(&mg, m, alias)
+	} else {
+		collapseWorklist(&mg, m, alias)
+	}
+	resolveTransitions(m, alias)
+	reindex(m)
+	return m
+}
 
-	// Phase 1 — greedy clustering: walk the pooled states in order and
-	// fold each into the first already-kept state it is mergeable with.
-	// This brings the state count down from O(trace length) to the number
-	// of distinct power behaviours in one linear pass.
+// joinPhase1 is the greedy clustering pass: walk the pooled states in
+// order and fold each into the first already-kept state it is mergeable
+// with. This brings the state count down from O(trace length) to the
+// number of distinct power behaviours in one linear pass. The pass is a
+// left fold — each decision depends only on the states before it — which
+// is what lets Joiner maintain its result incrementally across
+// streaming snapshots.
+func joinPhase1(mg *merger, m *Model, alias map[int]int) {
 	kept := 0
 	for i := 0; i < len(m.States); {
 		merged := false
@@ -354,9 +400,18 @@ func joinPooledWith(mg merger, m *Model) *Model {
 			i = kept
 		}
 	}
+}
 
-	// Phase 2 — fixpoint: pooling moved the kept states' means, so pairs
-	// that were not mergeable against the early evidence may be now.
+// joinFixpointScan is the reference fixpoint engine: pooling moved the
+// kept states' means, so pairs that were not mergeable against the early
+// evidence may be now; rescan all pairs from the top after every
+// collapse until none merges. Each collapse therefore costs a fresh
+// O(n²) pair scan — the superlinear core the worklist engine replaces —
+// but the scan visits pairs in the canonical order the provenance log
+// documents, so it remains the decision path whenever an audit log is
+// attached (every repeated verdict is a memo hit, so even this path no
+// longer recomputes the t-tests).
+func joinFixpointScan(mg *merger, m *Model, alias map[int]int) {
 	for {
 		found := false
 		for i := 0; i < len(m.States) && !found; i++ {
@@ -371,9 +426,147 @@ func joinPooledWith(mg merger, m *Model) *Model {
 			break
 		}
 	}
-	resolveTransitions(m, alias)
-	reindex(m)
-	return m
+}
+
+// pairItem is one candidate collapse in the worklist: the two states by
+// phase-2 rank, the versions of their evidence when the verdict was
+// computed, and the verdict's case (for the merge counters).
+type pairItem struct {
+	ra, rb int // ranks (phase-2 entry order; order-isomorphic to slice position)
+	va, vb int // evidence versions at evaluation time
+	cse    int // MergeOutcome.Case of the accepting verdict
+}
+
+// pairHeap is a binary min-heap of mergeable pairs ordered
+// lexicographically by rank — the same "first pair in scan order" the
+// reference engine's restart scan selects.
+type pairHeap []pairItem
+
+func (h pairHeap) less(i, j int) bool {
+	if h[i].ra != h[j].ra {
+		return h[i].ra < h[j].ra
+	}
+	return h[i].rb < h[j].rb
+}
+
+func (h *pairHeap) push(it pairItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *pairHeap) pop() pairItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.less(l, s) {
+			s = l
+		}
+		if r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		old[i], old[s] = old[s], old[i]
+		i = s
+	}
+	return top
+}
+
+// collapseWorklist is the incremental fixpoint engine. It reproduces the
+// restart scan's collapse sequence exactly without the restarts, from
+// two facts:
+//
+//   - the restart scan always collapses the lexicographically least
+//     (by slice position) mergeable pair — every pair before it was just
+//     re-checked and rejected;
+//   - a verdict is a pure function of the two states' moments, so a
+//     collapse of pair (a, b) can only change verdicts of pairs
+//     involving a (whose evidence pooled) or b (which is gone).
+//
+// So: seed a min-heap with every mergeable pair of one full pass (the
+// reference engine pays at least that to certify the fixpoint), and
+// after each collapse re-probe only the n−1 pairs involving the merged
+// state. Stale heap entries — a dead endpoint, or evidence that changed
+// since the verdict — are skipped lazily via per-state versions. Ranks
+// (entry positions) order the heap: removals never reorder survivors,
+// so rank order and slice-position order agree at every step, and the
+// popped pair is exactly the pair the restart scan would find next.
+// Per collapse the work drops from O(n²) re-evaluations to O(n) probes
+// (mostly memo hits), taking the fixpoint from ~O(n³) Evaluate calls to
+// O(n²) verdict lookups overall.
+func collapseWorklist(mg *merger, m *Model, alias map[int]int) {
+	n := len(m.States)
+	if n < 2 {
+		return
+	}
+	byRank := make([]*State, n)
+	copy(byRank, m.States)
+	ver := make([]int, n)
+	var h pairHeap
+
+	// probe records the decision for the counters and enqueues the pair
+	// when it is currently mergeable. Argument order is (earlier rank,
+	// later rank) — the reference scan's (i, j) order, which keeps the
+	// memo keys shared between both engines.
+	probe := func(ra, rb int) {
+		out := mg.decide(byRank[ra], byRank[rb])
+		if out.Accept {
+			h.push(pairItem{ra: ra, rb: rb, va: ver[ra], vb: ver[rb], cse: out.Case})
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			probe(i, j)
+		}
+	}
+	for len(h) > 0 {
+		it := h.pop()
+		if byRank[it.ra] == nil || byRank[it.rb] == nil || ver[it.ra] != it.va || ver[it.rb] != it.vb {
+			continue // stale: an endpoint died or its evidence changed
+		}
+		a, b := byRank[it.ra], byRank[it.rb]
+		mergeStates(alias, m.Initials, a, b)
+		mg.countMerge(it.cse)
+		byRank[it.rb] = nil
+		ver[it.ra]++
+		// Re-enqueue only pairs involving the merged state; everything
+		// else kept its evidence, hence its verdict.
+		for rc, s := range byRank {
+			if s == nil || rc == it.ra {
+				continue
+			}
+			if rc < it.ra {
+				probe(rc, it.ra)
+			} else {
+				probe(it.ra, rc)
+			}
+		}
+	}
+	// Compact the survivors in rank order — the order the reference
+	// engine's in-place removals preserve.
+	out := m.States[:0]
+	for _, s := range byRank {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	m.States = out
 }
 
 // collapse merges state index bi into state index ai: alternatives union
@@ -381,7 +574,15 @@ func joinPooledWith(mg merger, m *Model) *Model {
 // id is recorded in the alias table; transitions are rewired later in one
 // pass.
 func collapse(m *Model, alias map[int]int, ai, bi int) {
-	a, b := m.States[ai], m.States[bi]
+	mergeStates(alias, m.Initials, m.States[ai], m.States[bi])
+	m.States = append(m.States[:bi], m.States[bi+1:]...)
+}
+
+// mergeStates folds state b into state a without touching the state
+// slice — the collapse half the worklist engine and the streaming Joiner
+// share with the reference engine, so every path merges evidence
+// identically.
+func mergeStates(alias, initials map[int]int, a, b *State) {
 	for _, alt := range b.Alts {
 		key := alt.Seq.Key()
 		merged := false
@@ -403,53 +604,80 @@ func collapse(m *Model, alias map[int]int, ai, bi int) {
 	a.Intervals = append(a.Intervals, b.Intervals...)
 
 	alias[b.ID] = a.ID
-	if n, ok := m.Initials[b.ID]; ok {
-		m.Initials[a.ID] += n
-		delete(m.Initials, b.ID)
+	if n, ok := initials[b.ID]; ok {
+		initials[a.ID] += n
+		delete(initials, b.ID)
 	}
-	m.States = append(m.States[:bi], m.States[bi+1:]...)
+}
+
+// findAlias chases the alias chain from id to its surviving root with
+// full two-pass path compression: after the root is known, every node on
+// the walked chain is pointed directly at it, so merge cascades of any
+// depth amortize to near-constant lookups (classic union-find; the
+// merge engines only ever union a live root into a live root, so ranks
+// are unnecessary — the chain depth equals the cascade depth).
+func findAlias(alias map[int]int, id int) int {
+	root := id
+	for {
+		next, ok := alias[root]
+		if !ok {
+			break
+		}
+		root = next
+	}
+	for id != root {
+		next := alias[id]
+		alias[id] = root
+		id = next
+	}
+	return root
 }
 
 // resolveTransitions chases alias chains on every transition endpoint and
 // aggregates the duplicates that merging produced.
 func resolveTransitions(m *Model, alias map[int]int) {
-	find := func(id int) int {
-		for {
-			next, ok := alias[id]
-			if !ok {
-				return id
-			}
-			// Path compression keeps long merge chains cheap.
-			if n2, ok2 := alias[next]; ok2 {
-				alias[id] = n2
-			}
-			id = next
-		}
-	}
 	for i := range m.Transitions {
-		m.Transitions[i].From = find(m.Transitions[i].From)
-		m.Transitions[i].To = find(m.Transitions[i].To)
+		m.Transitions[i].From = findAlias(alias, m.Transitions[i].From)
+		m.Transitions[i].To = findAlias(alias, m.Transitions[i].To)
 	}
 	dedupTransitions(m)
 }
 
+// transKey identifies a transition up to its count — the dedup identity.
+type transKey struct{ from, to, enabling int }
+
+// dedupScratch holds the aggregation map and first-occurrence order of
+// one dedupTransitions pass. The snapshot hot path deduplicates on every
+// join; pooling the scratch keeps those passes allocation-free.
+type dedupScratch struct {
+	agg   map[transKey]int
+	order []transKey
+}
+
+var dedupPool = sync.Pool{
+	New: func() any {
+		return &dedupScratch{agg: make(map[transKey]int)}
+	},
+}
+
 // dedupTransitions aggregates parallel edges (same from/to/enabling) into
-// one transition with a summed count.
+// one transition with a summed count, preserving first-occurrence order.
 func dedupTransitions(m *Model) {
-	type key struct{ from, to, enabling int }
-	agg := map[key]int{}
-	var order []key
+	sc := dedupPool.Get().(*dedupScratch)
 	for _, t := range m.Transitions {
-		k := key{t.From, t.To, t.Enabling}
-		if _, ok := agg[k]; !ok {
-			order = append(order, k)
+		k := transKey{t.From, t.To, t.Enabling}
+		if _, ok := sc.agg[k]; !ok {
+			sc.order = append(sc.order, k)
 		}
-		agg[k] += t.Count
+		sc.agg[k] += t.Count
 	}
 	m.Transitions = m.Transitions[:0]
-	for _, k := range order {
-		m.Transitions = append(m.Transitions, Transition{From: k.from, To: k.to, Enabling: k.enabling, Count: agg[k]})
+	for _, k := range sc.order {
+		m.Transitions = append(m.Transitions, Transition{From: k.from, To: k.to, Enabling: k.enabling, Count: sc.agg[k]})
 	}
+	clear(sc.agg)
+	sc.order = sc.order[:0]
+	dedupPool.Put(sc)
 }
 
 // reindex renumbers states to 0..n-1 and rewrites transitions and

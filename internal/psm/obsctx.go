@@ -27,14 +27,26 @@ type merger struct {
 	policy MergePolicy
 	phase  string
 	trace  int
-	prov   *obs.ProvenanceLog
-	checks *obs.Counter
-	cases  [4]*obs.Counter // indexed by MergeOutcome.Case, 1..3
+	// memo caches Evaluate verdicts by moments pair; nil forces every
+	// check to recompute (the unmemoized reference configuration the
+	// benchmarks compare against).
+	memo *EvalMemo
+	// forceScan pins the canonical restart-scan fixpoint even without a
+	// provenance log (JoinPooledReferenceCtx — the old engine, kept as
+	// the benchmark baseline and differential-test oracle).
+	forceScan bool
+	prov      *obs.ProvenanceLog
+	checks    *obs.Counter    // one tick per mergeability probe
+	evals     *obs.Counter    // one tick per real Evaluate computation (memo miss)
+	cases     [4]*obs.Counter // indexed by MergeOutcome.Case, 1..3; ticks per collapse
 }
 
 // plainMerger is the sink-free merger of the non-context entry points.
+// Even without observation sinks it memoizes verdicts: the restart scans
+// of Simplify and the join fixpoint re-examine unchanged pairs
+// constantly, and a memoized verdict is exact (see EvalMemo).
 func plainMerger(policy MergePolicy, phase string, traceIdx int) merger {
-	return merger{policy: policy, phase: phase, trace: traceIdx}
+	return merger{policy: policy, phase: phase, trace: traceIdx, memo: NewEvalMemo(policy)}
 }
 
 // newMerger attaches the context's provenance log and registry, if any.
@@ -43,6 +55,7 @@ func newMerger(ctx context.Context, policy MergePolicy, phase string, traceIdx i
 	mg.prov = obs.ProvenanceFrom(ctx)
 	if reg := obs.RegistryFrom(ctx); reg != nil {
 		mg.checks = reg.Counter("psm_merge_checks_total")
+		mg.evals = reg.Counter("psm_merge_evals_total")
 		mg.cases[1] = reg.Counter("psm_merges_case1_total")
 		mg.cases[2] = reg.Counter("psm_merges_case2_total")
 		mg.cases[3] = reg.Counter("psm_merges_case3_total")
@@ -50,16 +63,56 @@ func newMerger(ctx context.Context, policy MergePolicy, phase string, traceIdx i
 	return mg
 }
 
+// evaluate computes (or recalls) the verdict for the ordered pair of
+// power summaries, ticking the evals counter only on real computations.
+func (mg *merger) evaluate(a, b stats.Moments) MergeOutcome {
+	if mg.memo == nil {
+		mg.evals.Inc()
+		return mg.policy.Evaluate(a, b)
+	}
+	before := mg.memo.Evals()
+	out := mg.memo.Evaluate(a, b)
+	if mg.memo.Evals() != before {
+		mg.evals.Inc()
+	}
+	return out
+}
+
+// decide is the worklist engine's probe: a counted, memoized verdict
+// with no per-case accounting — the worklist enqueues accepting pairs
+// speculatively and only pairs that actually collapse count as merges
+// (countMerge), keeping the psm_merges_case* counters identical to the
+// reference engine's, where every accept is immediately a collapse.
+// The worklist runs only when no provenance log is attached, so decide
+// records nothing.
+func (mg *merger) decide(a, b *State) MergeOutcome {
+	out := mg.evaluate(a.Power, b.Power)
+	mg.checks.Inc()
+	return out
+}
+
+// countMerge ticks the per-case merge counter for one actual collapse.
+func (mg *merger) countMerge(cse int) {
+	if cse >= 1 && cse <= 3 {
+		mg.cases[cse].Inc()
+	}
+}
+
 // mergeable decides whether two states' power attributes merge,
-// recording the decision when a sink is attached.
+// recording the decision when a sink is attached. In the scan engines
+// every accepted probe collapses immediately, so per-case counters tick
+// here on accept.
 func (mg *merger) mergeable(a, b *State) bool {
 	if mg.prov == nil && mg.checks == nil {
-		return mg.policy.Mergeable(a.Power, b.Power)
+		if mg.memo == nil {
+			return mg.policy.Mergeable(a.Power, b.Power)
+		}
+		return mg.memo.Evaluate(a.Power, b.Power).Accept
 	}
-	out := mg.policy.Evaluate(a.Power, b.Power)
+	out := mg.evaluate(a.Power, b.Power)
 	mg.checks.Inc()
-	if out.Accept && out.Case >= 1 && out.Case <= 3 {
-		mg.cases[out.Case].Inc()
+	if out.Accept {
+		mg.countMerge(out.Case)
 	}
 	mg.prov.Record(obs.MergeDecision{
 		Phase:     mg.phase,
@@ -108,6 +161,22 @@ func SimplifyCtx(ctx context.Context, c *Chain, policy MergePolicy) *Chain {
 func JoinPooledCtx(ctx context.Context, m *Model, policy MergePolicy) *Model {
 	_, span := obs.Start(ctx, "collapse", obs.KV("states_in", len(m.States)))
 	out := joinPooledWith(newMerger(ctx, policy, phaseJoin, -1), m)
+	span.SetAttr("states_out", len(out.States))
+	span.End()
+	return out
+}
+
+// JoinPooledReferenceCtx is JoinPooledCtx pinned to the unmemoized
+// restart-scan engine — the join exactly as shipped before the
+// incremental engine landed. It exists for the differential parity
+// tests and the scaling benchmarks, which need the historical baseline
+// as an oracle; production callers want JoinPooledCtx.
+func JoinPooledReferenceCtx(ctx context.Context, m *Model, policy MergePolicy) *Model {
+	_, span := obs.Start(ctx, "collapse", obs.KV("states_in", len(m.States)))
+	mg := newMerger(ctx, policy, phaseJoin, -1)
+	mg.memo = nil
+	mg.forceScan = true
+	out := joinPooledWith(mg, m)
 	span.SetAttr("states_out", len(out.States))
 	span.End()
 	return out

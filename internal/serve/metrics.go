@@ -25,6 +25,7 @@ type metricsDoc struct {
 	TracesCompleted int             `json:"traces_completed"`
 	Snapshots       int             `json:"snapshots"`
 	Rebuilds        int             `json:"rebuilds"`
+	DeltaSnapshots  int             `json:"delta_snapshots"`
 	StatesPooled    int             `json:"states_pooled"`
 	StatesServed    int             `json:"states_served"`
 	StatesMerged    int             `json:"states_merged"`
@@ -40,6 +41,7 @@ func metricsOf(m stream.Metrics, uptime time.Duration) metricsDoc {
 		TracesCompleted: m.TracesCompleted,
 		Snapshots:       m.Snapshots,
 		Rebuilds:        m.Rebuilds,
+		DeltaSnapshots:  m.DeltaSnapshots,
 		StatesPooled:    m.StatesPooled,
 		StatesServed:    m.StatesServed,
 		StatesMerged:    m.StatesMerged,

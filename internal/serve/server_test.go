@@ -266,7 +266,10 @@ func TestEndToEnd(t *testing.T) {
 	for _, b := range psmd.JoinLatencyMs {
 		samples += b.Count
 	}
-	if samples != psmd.Snapshots {
+	// Every Snapshot call lands one latency sample, including failed
+	// attempts (e.g. a model request before any trace completed), so the
+	// histogram holds at least one sample per successful snapshot.
+	if samples < psmd.Snapshots {
 		t.Fatalf("latency histogram holds %d samples for %d snapshots", samples, psmd.Snapshots)
 	}
 	if _, ok := mdoc["memstats"]; !ok {

@@ -40,6 +40,11 @@ type Config struct {
 	// one registry across engines in a process is the caller's choice —
 	// the counters are named per concern, not per engine.
 	Registry *obs.Registry
+	// JoinMemoEntries bounds the mergeability-verdict memo the
+	// incremental join keeps across snapshots (≤ 0 selects the psm
+	// package default). The memo resets wholesale at the bound; the
+	// model is unaffected either way (memoized verdicts are exact).
+	JoinMemoEntries int
 }
 
 // DefaultConfig returns the paper-reproduction policies with serving-
@@ -101,8 +106,16 @@ type Metrics struct {
 	// kept atom set changed) and rebuilt every chain; incremental
 	// snapshots only fold the sessions completed since the previous one.
 	Rebuilds int
+	// DeltaSnapshots counts snapshots served from a warm epoch cache:
+	// only the sessions completed since the previous snapshot were
+	// folded into the persistent join, and the collapse ran over the
+	// kept states instead of the whole pool. Rebuilds + DeltaSnapshots
+	// equals the successful snapshot count.
+	DeltaSnapshots int
 	// JoinNanos is the total time spent inside Snapshot; JoinLatency is
-	// its distribution (see LatencyBuckets).
+	// its distribution (see LatencyBuckets). Failed and cancelled
+	// snapshots are included — an operator alerting on join latency
+	// must see the time burned before an abort too.
 	JoinNanos   int64
 	JoinLatency []int
 }
@@ -134,16 +147,23 @@ var LatencyBuckets = obs.ExponentialBuckets(0.001, 4, 12)
 //     (mining.MineParallel's replay strategy), chains are built by the
 //     online XU segmenter (bit-identical to psm.Generate) and simplified
 //     with the batch psm.Simplify;
-//   - the live model is a left fold of psm.Concat over the pooled chains
-//     — associative, so it equals pipeline.TreeJoin's tree for any
-//     grouping — and each Snapshot clones the fold and runs the one
-//     order-dependent psm.JoinPooled collapse on the clone, followed by
-//     the batch calibration over the stored power/HD series.
+//   - the live model is a persistent incremental join (psm.Joiner): each
+//     completed chain is folded once through the batch join's greedy
+//     clustering pass — a left fold, so folding chains in completion
+//     order equals pooling them all and clustering from scratch — and
+//     each Snapshot cheaply clones the fold's kept states and runs only
+//     the order-dependent fixpoint on the clone, followed by the batch
+//     calibration over the stored power/HD series. Steady-state snapshot
+//     cost therefore scales with the number of kept states and the new
+//     evidence since the last snapshot, not with the total pooled
+//     states (pinned by BenchmarkSnapshotSteadyState).
 //
 // The kept atom set depends on global statistics, so a completed session
 // can invalidate earlier decisions; the engine detects this by comparing
 // kept-atom indices per snapshot (an epoch) and rebuilds all chains from
-// the stored bitsets only then, folding incrementally otherwise.
+// the stored bitsets only then, folding incrementally otherwise. The
+// joiner's verdict memo survives epoch changes — mergeability is pure in
+// the power moments, which re-mining does not alter.
 type Engine struct {
 	cfg        Config
 	candidates []mining.Atom // fixed per schema
@@ -156,6 +176,7 @@ type Engine struct {
 	mTraces    *obs.Counter
 	mSnapshots *obs.Counter
 	mRebuilds  *obs.Counter
+	mDelta     *obs.Counter
 	mJoinNanos *obs.Counter
 	gOpen      *obs.Gauge
 	gPooled    *obs.Gauge
@@ -173,7 +194,7 @@ type Engine struct {
 	keptIdx []int
 	dict    *mining.Dictionary
 	chains  []*psm.Chain // per completed session; nil entry = too short
-	pool    *psm.Model   // Concat fold of pooled non-nil chains[0:built]
+	joiner  *psm.Joiner  // incremental join over chains[0:built]
 	built   int
 }
 
@@ -185,13 +206,17 @@ func NewEngine(cfg Config) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	joiner := psm.NewJoiner(cfg.Merge)
+	joiner.SetMemoLimit(cfg.JoinMemoEntries)
 	return &Engine{
 		cfg:        cfg,
 		reg:        reg,
+		joiner:     joiner,
 		mRecords:   reg.Counter("psmd_records_ingested_total"),
 		mTraces:    reg.Counter("psmd_traces_completed_total"),
 		mSnapshots: reg.Counter("psmd_snapshots_total"),
 		mRebuilds:  reg.Counter("psmd_rebuilds_total"),
+		mDelta:     reg.Counter("psmd_snapshots_delta_total"),
 		mJoinNanos: reg.Counter("psmd_join_nanos_total"),
 		gOpen:      reg.Gauge("psmd_sessions_open"),
 		gPooled:    reg.Gauge("psmd_states_pooled"),
@@ -359,6 +384,22 @@ func (s *Session) Abort() {
 // ctx aborts the chain fan-out with ctx.Err().
 func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 	start := time.Now()
+	// Latency is recorded on every outcome, including errors and
+	// cancellations: the time a failed snapshot burned under the engine
+	// lock is exactly what an operator alerting on join latency needs to
+	// see (a cancel storm that only ever shows up as absent samples
+	// would hide the regression that causes it).
+	defer func() {
+		el := time.Since(start)
+		e.mJoinNanos.Add(el.Nanoseconds())
+		e.hJoin.Observe(float64(el.Nanoseconds()) / 1e6)
+	}()
+	if obs.RegistryFrom(ctx) == nil {
+		// Bill the join's merge counters (checks, evals, cases) to the
+		// engine registry so they surface on /metrics; a caller-provided
+		// registry (tests, embedding tools) still wins.
+		ctx = obs.WithRegistry(ctx, e.reg)
+	}
 	ctx, span := obs.Start(ctx, "snapshot")
 	defer span.End()
 	e.mu.Lock()
@@ -372,10 +413,13 @@ func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 		return nil, fmt.Errorf("stream: no atomic proposition survived filtering (%d candidates over %d instants)",
 			len(e.candidates), e.totalRows)
 	}
-	if !equalInts(idx, e.keptIdx) {
+	rebuild := !equalInts(idx, e.keptIdx)
+	if rebuild {
 		// Epoch change: the new evidence moved the kept atom set, so every
 		// proposition id and chain is void. Rebuild from the stored
-		// bitsets — the only snapshot that is not incremental.
+		// bitsets — the only snapshot that is not incremental. The joiner
+		// keeps its verdict memo across the reset (verdicts are pure in
+		// the power moments).
 		e.keptIdx = append([]int(nil), idx...)
 		kept := make([]mining.Atom, len(idx))
 		for i, ci := range idx {
@@ -383,7 +427,7 @@ func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 		}
 		e.dict = mining.NewDictionary(e.schema, kept)
 		e.chains = nil
-		e.pool = nil
+		e.joiner.Reset()
 		e.built = 0
 		e.mRebuilds.Inc()
 		span.SetAttr("rebuild", true)
@@ -420,21 +464,20 @@ func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 		e.chains = append(e.chains, c)
 	}
 
-	// Incremental join fold: Concat is associative in chain order, so the
-	// left fold equals pipeline.TreeJoin's tree for any worker count.
+	// Incremental join fold: each chain not yet folded passes through the
+	// batch join's greedy clustering exactly once (the pass is a left
+	// fold over chains in completion order, so folding the delta equals
+	// pooling everything and clustering from scratch — see psm.Joiner).
 	for e.built < len(e.chains) {
-		p := psm.Pool(e.chains[e.built : e.built+1])
-		if e.pool == nil {
-			e.pool = p
-		} else {
-			e.pool = psm.Concat(e.pool, p)
-		}
+		e.joiner.Add(ctx, e.chains[e.built])
 		e.built++
 	}
 
-	snap := psm.CloneModel(e.pool)
-	pooled := len(snap.States)
-	psm.JoinPooledCtx(ctx, snap, e.cfg.Merge)
+	// Delta snapshot: clone the fold's kept states (cheap — shared
+	// immutable bulk) and run only the order-dependent fixpoint on the
+	// clone. Byte-identical to CloneModel+JoinPooled over the full pool.
+	pooled := e.joiner.Pooled()
+	snap := e.joiner.Snapshot(ctx)
 	if !e.cfg.SkipCalibration {
 		hds := make([][]float64, len(e.completed))
 		pws := make([][]float64, len(e.completed))
@@ -451,11 +494,11 @@ func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 	snap.Dict = mining.FromSnapshot(e.dict.Snapshot())
 
 	e.mSnapshots.Inc()
+	if !rebuild {
+		e.mDelta.Inc()
+	}
 	e.gPooled.Set(float64(pooled))
 	e.gServed.Set(float64(len(snap.States)))
-	el := time.Since(start)
-	e.mJoinNanos.Add(el.Nanoseconds())
-	e.hJoin.Observe(float64(el.Nanoseconds()) / 1e6)
 	span.SetAttr("states", len(snap.States))
 	return snap, nil
 }
@@ -475,6 +518,7 @@ func (e *Engine) Metrics() Metrics {
 		TracesCompleted: len(e.completed),
 		Snapshots:       int(e.mSnapshots.Value()),
 		Rebuilds:        int(e.mRebuilds.Value()),
+		DeltaSnapshots:  int(e.mDelta.Value()),
 		StatesPooled:    int(e.gPooled.Value()),
 		StatesServed:    int(e.gServed.Value()),
 		JoinNanos:       e.mJoinNanos.Value(),

@@ -9,6 +9,7 @@ import (
 
 	"psmkit/internal/logic"
 	"psmkit/internal/mining"
+	"psmkit/internal/obs"
 	"psmkit/internal/pipeline"
 	"psmkit/internal/psm"
 	"psmkit/internal/stream"
@@ -103,10 +104,12 @@ func exports(t *testing.T, m *psm.Model) (string, string) {
 	return dot.String(), js.String()
 }
 
-func newTestEngine(c parityCase) *stream.Engine {
+func newTestEngine(c parityCase) *stream.Engine { return newTestEngineWorkers(c, 2) }
+
+func newTestEngineWorkers(c parityCase, workers int) *stream.Engine {
 	mcfg, merge, cal := flowPolicies()
 	return stream.NewEngine(stream.Config{
-		Workers:     2,
+		Workers:     workers,
 		Mining:      mcfg,
 		Merge:       merge,
 		Calibration: cal,
@@ -185,7 +188,9 @@ func TestStreamingMatchesBatch(t *testing.T) {
 		c := genParityCase(rng)
 		for _, sched := range schedules {
 			rrReset()
-			e := newTestEngine(c)
+			// Sweep the fan-out width with the seed so the suite pins
+			// byte-parity for every worker count, not just the default.
+			e := newTestEngineWorkers(c, 1+seed%4)
 			order := interleave(t, e, c, rng, sched.pick)
 
 			live, liveErr := e.Snapshot(context.Background())
@@ -205,6 +210,26 @@ func TestStreamingMatchesBatch(t *testing.T) {
 			}
 			if lj != bj {
 				t.Fatalf("seed %d %s order %v: JSON exports differ", seed, sched.name, order)
+			}
+
+			// A repeat snapshot takes the warm delta path — nothing new to
+			// fold, only the fixpoint over the kept states — and must stay
+			// byte-identical to the batch export too.
+			again, err := e.Snapshot(context.Background())
+			if err != nil {
+				t.Fatalf("seed %d %s: repeat snapshot: %v", seed, sched.name, err)
+			}
+			ad, aj := exports(t, again)
+			if ad != bd || aj != bj {
+				t.Fatalf("seed %d %s order %v: delta-path snapshot diverges from batch", seed, sched.name, order)
+			}
+			m := e.Metrics()
+			if m.Snapshots != m.Rebuilds+m.DeltaSnapshots {
+				t.Fatalf("seed %d %s: %d snapshots ≠ %d rebuilds + %d delta",
+					seed, sched.name, m.Snapshots, m.Rebuilds, m.DeltaSnapshots)
+			}
+			if m.DeltaSnapshots < 1 {
+				t.Fatalf("seed %d %s: repeat snapshot did not take the delta path", seed, sched.name)
 			}
 		}
 	}
@@ -394,4 +419,102 @@ func ExampleEngine() {
 	fmt.Println("states:", m.NumStates())
 	// Output:
 	// states: 2
+}
+
+// steadyEngine returns an engine with `total` copies of the case's
+// first trace completed and one settled snapshot (epoch fixed, every
+// chain folded). Calibration is skipped: the regression inherently
+// rescans all stored series, while this suite isolates the join path.
+func steadyEngine(t testing.TB, c parityCase, total int) *stream.Engine {
+	t.Helper()
+	mcfg, merge, _ := flowPolicies()
+	e := stream.NewEngine(stream.Config{
+		Workers:         2,
+		Mining:          mcfg,
+		Merge:           merge,
+		SkipCalibration: true,
+		Inputs:          c.inputs,
+	})
+	for k := 0; k < total; k++ {
+		streamTrace(t, e, c, 0)
+	}
+	if _, err := e.Snapshot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// streamTrace streams the case's trace i in full and closes it.
+func streamTrace(t testing.TB, e *stream.Engine, c parityCase, i int) {
+	t.Helper()
+	s, err := e.Open(c.fts[i].Signals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < c.fts[i].Len(); r++ {
+		if err := s.Append(c.fts[i].Row(r), c.pws[i].Values[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteadyStateSnapshotCost pins the delta-snapshot guarantee in
+// deterministic units: when one new chain arrives, the number of
+// mergeability probes a snapshot performs (psm_merge_checks_total)
+// depends on the kept-state count and the new chain — NOT on how many
+// chains were pooled before. A 5× larger history must not cost more
+// probes; the pre-incremental engine re-clustered the whole pool and
+// paid proportionally to it.
+func TestSteadyStateSnapshotCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := genParityCase(rng)
+
+	probes := func(total int) int64 {
+		e := steadyEngine(t, c, total)
+		streamTrace(t, e, c, 0)
+		reg := obs.NewRegistry()
+		ctx := obs.WithRegistry(context.Background(), reg)
+		if _, err := e.Snapshot(ctx); err != nil {
+			t.Fatal(err)
+		}
+		m := e.Metrics()
+		if m.DeltaSnapshots < 1 {
+			t.Fatalf("pool=%d: measured snapshot did not take the delta path (%d rebuilds)", total, m.Rebuilds)
+		}
+		return reg.Snapshot().Counters["psm_merge_checks_total"]
+	}
+
+	small := probes(6)
+	large := probes(30)
+	if small == 0 {
+		t.Fatal("no mergeability probes counted — registry not reaching the join")
+	}
+	if large > 2*small {
+		t.Fatalf("steady-state snapshot cost scales with pooled history: %d probes at pool=30 vs %d at pool=6",
+			large, small)
+	}
+}
+
+// BenchmarkSnapshotSteadyState measures the wall-clock of one
+// steady-state cycle (stream one trace, snapshot) against histories of
+// different depth: with delta snapshots the per-cycle cost is flat in
+// the pooled total.
+func BenchmarkSnapshotSteadyState(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	c := genParityCase(rng)
+	for _, total := range []int{8, 64} {
+		b.Run(fmt.Sprintf("pooled=%d", total), func(b *testing.B) {
+			e := steadyEngine(b, c, total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				streamTrace(b, e, c, 0)
+				if _, err := e.Snapshot(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

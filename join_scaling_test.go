@@ -1,0 +1,109 @@
+package psmkit
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"psmkit/internal/joinbench"
+	"psmkit/internal/obs"
+	"psmkit/internal/psm"
+)
+
+// joinArm runs one join engine over a fresh clone of the pooled model
+// with its own metrics registry, returning the wall time, the number of
+// MergePolicy.Evaluate calls actually executed (memo misses only — the
+// psm_merge_evals_total counter) and the collapsed model.
+func joinArm(m *psm.Model, join func(context.Context, *psm.Model, psm.MergePolicy) *psm.Model) (time.Duration, int64, *psm.Model) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	start := time.Now()
+	out := join(ctx, psm.CloneModel(m), psm.DefaultMergePolicy())
+	elapsed := time.Since(start)
+	return elapsed, reg.Snapshot().Counters["psm_merge_evals_total"], out
+}
+
+// BenchmarkJoinScaling compares the historical restart-scan join fixpoint
+// against the worklist engine on the adversarial 501-state pooled model
+// of internal/joinbench (167 groups, one phase-2 collapse each). The
+// restart scan pays a fresh O(n²) evaluation sweep per collapse; the
+// worklist pays one seeding sweep plus O(n) re-probes. speedup_x is the
+// reference wall time divided by the worklist per-op time; evals_ref and
+// evals_worklist count real MergePolicy.Evaluate executions per join.
+// The models are byte-identical (TestJoinScalingGate pins that).
+func BenchmarkJoinScaling(b *testing.B) {
+	pooled := joinbench.Model(167)
+	refTime, refEvals, ref := joinArm(pooled, psm.JoinPooledReferenceCtx)
+
+	var wlEvals int64
+	var wl *psm.Model
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, wlEvals, wl = joinArm(pooled, psm.JoinPooledCtx)
+	}
+	if len(wl.States) != len(ref.States) {
+		b.Fatalf("worklist collapsed to %d states, reference to %d", len(wl.States), len(ref.States))
+	}
+	b.ReportMetric(refTime.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup_x")
+	b.ReportMetric(float64(refEvals), "evals_ref")
+	b.ReportMetric(float64(wlEvals), "evals_worklist")
+	b.ReportMetric(float64(len(ref.States)), "states_out")
+}
+
+// TestJoinScalingGate is the `make bench-join` regression gate for the
+// incremental join engine, on the same 501-state adversarial model as
+// BenchmarkJoinScaling:
+//
+//   - the worklist engine must be ≥5× faster than the restart-scan
+//     reference (min over interleaved rounds, like the obs gate);
+//   - it must execute strictly fewer MergePolicy.Evaluate calls;
+//   - both engines must collapse to exactly one state per group and
+//     produce deeply equal models (the stream parity suite additionally
+//     pins DOT/JSON byte identity on mined models).
+//
+// Wall-clock gates are noisy, so the test only runs under BENCH_JOIN=1
+// (CI: `make bench-join`).
+func TestJoinScalingGate(t *testing.T) {
+	if os.Getenv("BENCH_JOIN") == "" {
+		t.Skip("set BENCH_JOIN=1 (or run `make bench-join`) to run the join scaling gate")
+	}
+	const groups = 400 // 1200 pooled states: deep enough that the scan's cubic term dominates
+	pooled := joinbench.Model(groups)
+
+	joinArm(pooled, psm.JoinPooledReferenceCtx) // warm both arms before timing
+	joinArm(pooled, psm.JoinPooledCtx)
+	const rounds = 3
+	minRef, minWl := time.Duration(1<<62), time.Duration(1<<62)
+	var refEvals, wlEvals int64
+	var ref, wl *psm.Model
+	for i := 0; i < rounds; i++ {
+		var d time.Duration
+		if d, refEvals, ref = joinArm(pooled, psm.JoinPooledReferenceCtx); d < minRef {
+			minRef = d
+		}
+		if d, wlEvals, wl = joinArm(pooled, psm.JoinPooledCtx); d < minWl {
+			minWl = d
+		}
+	}
+
+	if len(ref.States) != groups || len(wl.States) != groups {
+		t.Fatalf("collapsed to %d (reference) / %d (worklist) states, want %d",
+			len(ref.States), len(wl.States), groups)
+	}
+	if !reflect.DeepEqual(ref, wl) {
+		t.Fatal("worklist and reference joins produced different models")
+	}
+
+	speedup := float64(minRef) / float64(minWl)
+	t.Logf("reference %v (%d evals), worklist %v (%d evals), speedup %.1fx",
+		minRef, refEvals, minWl, wlEvals, speedup)
+	if wlEvals >= refEvals {
+		t.Fatalf("worklist executed %d Evaluate calls, reference %d; want strictly fewer", wlEvals, refEvals)
+	}
+	if speedup < 5 {
+		t.Fatalf("worklist speedup %.1fx over restart scan (min over %d rounds: %v vs %v); gate is 5x",
+			speedup, rounds, minWl, minRef)
+	}
+}

@@ -1,0 +1,124 @@
+// Command bench_join sweeps the join-engine scaling comparison and
+// writes BENCH_join.json: for each pooled-state count, the min-of-N wall
+// clock and the number of MergePolicy.Evaluate calls actually executed
+// (the psm_merge_evals_total counter — memo misses only) for the
+// historical restart-scan fixpoint versus the worklist engine, on the
+// adversarial mergeable-heavy models of internal/joinbench. The sweep
+// backs the committed BENCH_join.json and the numbers quoted in the
+// README's Performance section; `make bench-join` runs the pass/fail
+// gate (TestJoinScalingGate) and then refreshes the file.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"psmkit/internal/joinbench"
+	"psmkit/internal/obs"
+	"psmkit/internal/psm"
+)
+
+// point is one sweep row of the emitted JSON.
+type point struct {
+	Groups        int     `json:"groups"`
+	StatesIn      int     `json:"states_in"`
+	StatesOut     int     `json:"states_out"`
+	ScanNsPerOp   int64   `json:"scan_ns_per_op"`
+	ScanEvals     int64   `json:"scan_evals"`
+	WorklistNsOp  int64   `json:"worklist_ns_per_op"`
+	WorklistEvals int64   `json:"worklist_evals"`
+	SpeedupX      float64 `json:"speedup_x"`
+	EvalRatioX    float64 `json:"eval_ratio_x"`
+}
+
+type report struct {
+	Description string  `json:"description"`
+	Rounds      int     `json:"rounds"`
+	Points      []point `json:"points"`
+}
+
+// arm joins a fresh clone of the pooled model under its own metrics
+// registry, returning wall time, executed Evaluate calls, and the
+// collapsed state count.
+func arm(m *psm.Model, join func(context.Context, *psm.Model, psm.MergePolicy) *psm.Model) (time.Duration, int64, int) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	start := time.Now()
+	out := join(ctx, psm.CloneModel(m), psm.DefaultMergePolicy())
+	return time.Since(start), reg.Snapshot().Counters["psm_merge_evals_total"], len(out.States)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_join.json", "output file")
+	rounds := flag.Int("rounds", 3, "interleaved timing rounds (min is reported)")
+	flag.Parse()
+
+	rep := report{
+		Description: "restart-scan join fixpoint vs worklist engine on internal/joinbench " +
+			"adversarial models (one phase-2 collapse per 3-state group); min wall clock over " +
+			"interleaved rounds, evals = MergePolicy.Evaluate executions (psm_merge_evals_total)",
+		Rounds: *rounds,
+	}
+	for _, groups := range []int{50, 100, 200, 400} {
+		pooled := joinbench.Model(groups)
+		arm(pooled, psm.JoinPooledReferenceCtx) // warm both arms
+		arm(pooled, psm.JoinPooledCtx)
+		minScan, minWl := time.Duration(1<<62), time.Duration(1<<62)
+		var scanEvals, wlEvals int64
+		statesOut := 0
+		for i := 0; i < *rounds; i++ {
+			var d time.Duration
+			if d, scanEvals, statesOut = arm(pooled, psm.JoinPooledReferenceCtx); d < minScan {
+				minScan = d
+			}
+			var n int
+			if d, wlEvals, n = arm(pooled, psm.JoinPooledCtx); d < minWl {
+				minWl = d
+			}
+			if n != statesOut {
+				fmt.Fprintf(os.Stderr, "bench_join: engines disagree at %d groups: %d vs %d states\n",
+					groups, statesOut, n)
+				os.Exit(1)
+			}
+		}
+		if wlEvals == 0 {
+			fmt.Fprintf(os.Stderr, "bench_join: worklist executed no evaluations at %d groups\n", groups)
+			os.Exit(1)
+		}
+		p := point{
+			Groups:        groups,
+			StatesIn:      groups * joinbench.StatesPerGroup,
+			StatesOut:     statesOut,
+			ScanNsPerOp:   minScan.Nanoseconds(),
+			ScanEvals:     scanEvals,
+			WorklistNsOp:  minWl.Nanoseconds(),
+			WorklistEvals: wlEvals,
+			SpeedupX:      float64(minScan) / float64(minWl),
+			EvalRatioX:    float64(scanEvals) / float64(wlEvals),
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Printf("groups=%-4d states=%-5d scan=%-12v worklist=%-12v speedup=%.1fx evals %d vs %d (%.1fx)\n",
+			groups, p.StatesIn, minScan, minWl, p.SpeedupX, scanEvals, wlEvals, p.EvalRatioX)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_join:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bench_join:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench_join:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
