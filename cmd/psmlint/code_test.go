@@ -1,0 +1,194 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+const fixtureGoMod = "module lintfixture\n\ngo 1.22\n"
+
+// writeFixtureModule lays out a throwaway module and chdirs into it
+// (the code subcommand lints the module around the working directory).
+func writeFixtureModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(root)
+	return root
+}
+
+const dirtySource = `package a
+
+func mayFail() error { return nil }
+
+func Bad(a, b float64) bool {
+	mayFail()
+	return a == b
+}
+`
+
+func TestCodeCleanExitsZero(t *testing.T) {
+	writeFixtureModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"a.go":   "package a\n\nfunc Ok() int { return 1 }\n",
+	})
+	code, out, stderr := runLint(t, "code", "./...")
+	if code != 0 {
+		t.Fatalf("clean module must exit 0, got %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+}
+
+func TestCodeFindingsExitOne(t *testing.T) {
+	writeFixtureModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"a.go":   dirtySource,
+	})
+	code, out, _ := runLint(t, "code", "./...")
+	if code != 1 {
+		t.Fatalf("findings must exit 1, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "[float-eq]") || !strings.Contains(out, "[err-drop]") {
+		t.Fatalf("expected float-eq and err-drop findings:\n%s", out)
+	}
+}
+
+func TestCodeUnknownRuleExitsTwo(t *testing.T) {
+	writeFixtureModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"a.go":   "package a\n",
+	})
+	code, _, stderr := runLint(t, "code", "-rules", "no-such-rule", "./...")
+	if code != 2 {
+		t.Fatalf("unknown rule id must exit 2, got %d", code)
+	}
+	if !strings.Contains(stderr, "unknown rule") {
+		t.Fatalf("stderr should name the bad rule:\n%s", stderr)
+	}
+}
+
+func TestCodeRulesFlagFilters(t *testing.T) {
+	writeFixtureModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"a.go":   dirtySource,
+	})
+	code, out, _ := runLint(t, "code", "-rules", "float-eq", "./...")
+	if code != 1 {
+		t.Fatalf("want exit 1, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "[float-eq]") || strings.Contains(out, "[err-drop]") {
+		t.Fatalf("-rules float-eq must drop err-drop findings:\n%s", out)
+	}
+}
+
+// TestCodeBaselineWorkflow walks the full gate lifecycle: record the
+// existing debt, verify the gate passes with it grandfathered, then
+// introduce a new finding and verify only that one fails the build.
+func TestCodeBaselineWorkflow(t *testing.T) {
+	root := writeFixtureModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"a.go":   dirtySource,
+	})
+	baseline := filepath.Join(root, ".psmlint-baseline.json")
+
+	code, out, stderr := runLint(t, "code", "-baseline", baseline, "-write-baseline", "./...")
+	if code != 0 {
+		t.Fatalf("-write-baseline must exit 0, got %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "baselined 2 findings") {
+		t.Fatalf("expected 2 findings baselined:\n%s", out)
+	}
+
+	code, out, _ = runLint(t, "code", "-baseline", baseline, "./...")
+	if code != 0 {
+		t.Fatalf("all findings grandfathered: must exit 0, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "2 baselined findings remain") {
+		t.Fatalf("expected baselined-findings summary:\n%s", out)
+	}
+
+	// New debt on top of the baseline fails, reporting only the new site.
+	if err := os.WriteFile(filepath.Join(root, "b.go"),
+		[]byte("package a\n\nfunc AlsoBad(x, y float64) bool { return x != y }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runLint(t, "code", "-baseline", baseline, "./...")
+	if code != 1 {
+		t.Fatalf("new finding must exit 1, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "b.go") || !strings.Contains(out, "1 new findings (2 baselined)") {
+		t.Fatalf("only the new finding should surface:\n%s", out)
+	}
+}
+
+// TestCodeSARIFGolden pins the SARIF 2.1.0 report byte-for-byte.
+// Paths in the report are module-root-relative and the findings are
+// position-sorted, so the output is machine-independent; regenerate
+// with
+//
+//	go test ./cmd/psmlint -run TestCodeSARIFGolden -update
+func TestCodeSARIFGolden(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join(wd, "testdata", "golden", "code.sarif")
+
+	writeFixtureModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"a.go": `package a
+
+import (
+	"fmt"
+	"io"
+)
+
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func Close(x, y float64) bool { return x == y }
+`,
+	})
+	code, out, stderr := runLint(t, "code", "-sarif", "-", "./...")
+	if code != 1 {
+		t.Fatalf("fixture must report findings (exit 1), got %d\nstderr:\n%s", code, stderr)
+	}
+	// -sarif - routes the report to stdout; the plain findings follow it.
+	idx := strings.Index(out, "\n}\n")
+	if idx < 0 {
+		t.Fatalf("no SARIF document on stdout:\n%s", out)
+	}
+	got := out[:idx+len("\n}\n")]
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if got != string(want) {
+		t.Errorf("SARIF output differs from golden file %s (rerun with -update if the change is intended)\ngot:\n%s", golden, got)
+	}
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A Baseline grandfathers known findings so the linter can gate CI the
+// day it is turned on: existing debt stays recorded in a committed
+// .psmlint-baseline.json while anything new fails the build. Entries
+// are keyed by (rule, root-relative file, message) with an occurrence
+// count — deliberately line-number-free, so unrelated edits that shift
+// a baselined finding up or down a file do not break the gate, while a
+// *new* instance of the same message in the same file (count exceeded)
+// still fails.
+type Baseline struct {
+	// Version guards the file format.
+	Version int `json:"version"`
+	// Findings is sorted by key for stable diffs.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one grandfathered finding class.
+type BaselineEntry struct {
+	Rule  string `json:"rule"`
+	File  string `json:"file"`
+	Msg   string `json:"msg"`
+	Count int    `json:"count"`
+}
+
+func (e BaselineEntry) key() string { return e.Rule + "\x00" + e.File + "\x00" + e.Msg }
+
+// NewBaseline builds a baseline from a findings list, with paths
+// rendered relative to root.
+func NewBaseline(findings []Finding, root string) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, f := range findings {
+		e := BaselineEntry{Rule: f.Rule, File: relativeURI(root, f.Pos.Filename), Msg: f.Msg}
+		if prev, ok := counts[e.key()]; ok {
+			prev.Count++
+			continue
+		}
+		e.Count = 1
+		counts[e.key()] = &e
+	}
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for _, e := range counts {
+		b.Findings = append(b.Findings, *e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].key() < b.Findings[j].key() })
+	return b
+}
+
+// Filter splits findings into those not covered by the baseline (fresh
+// — these should fail the build) and the count of grandfathered ones.
+// Each baseline entry absorbs at most Count matching findings, so a new
+// duplicate of a baselined finding still surfaces.
+func (b *Baseline) Filter(findings []Finding, root string) (fresh []Finding, grandfathered int) {
+	remaining := map[string]int{}
+	for _, e := range b.Findings {
+		remaining[e.key()] += e.Count
+	}
+	for _, f := range findings {
+		key := f.Rule + "\x00" + relativeURI(root, f.Pos.Filename) + "\x00" + f.Msg
+		if remaining[key] > 0 {
+			remaining[key]--
+			grandfathered++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, grandfathered
+}
+
+// Stale returns baseline entries no current finding matches — fixed
+// debt whose entries should be deleted from the file.
+func (b *Baseline) Stale(findings []Finding, root string) []BaselineEntry {
+	seen := map[string]int{}
+	for _, f := range findings {
+		key := f.Rule + "\x00" + relativeURI(root, f.Pos.Filename) + "\x00" + f.Msg
+		seen[key]++
+	}
+	var out []BaselineEntry
+	for _, e := range b.Findings {
+		if seen[e.key()] == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LoadBaseline reads a baseline file. A missing file is not an error:
+// it returns an empty baseline so `-baseline` can point at a path that
+// will be created later with -write-baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Baseline{Version: 1}, nil
+		}
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", filepath.Base(path), err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", filepath.Base(path), b.Version)
+	}
+	return &b, nil
+}
+
+// Write renders the baseline as stable, indented JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Save writes the baseline to a file.
+func (b *Baseline) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

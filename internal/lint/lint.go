@@ -1,16 +1,33 @@
 // Package lint is the code layer of psmlint: a standard-library-only
-// static analyzer (go/parser, go/ast, go/types — no external deps) with
-// rules tuned to this numeric codebase:
+// static analysis driver (go/parser, go/ast, go/types — no external
+// deps) with rules tuned to this numeric, determinism-obsessed
+// codebase:
 //
-//	float-eq     naked ==/!= between floating-point expressions
-//	nan-guard    float division whose denominator has no zero guard
-//	err-drop     call statements discarding an error result
-//	obs-metrics  expvar imported outside internal/obs (the metrics facade)
+//	float-eq      naked ==/!= between floating-point expressions
+//	nan-guard     float division whose denominator has no zero guard
+//	err-drop      call statements discarding an error result
+//	obs-metrics   expvar imported outside internal/obs (the metrics facade)
 //	merge-fixpoint  restart-scan merge fixpoints over .States outside internal/psm
+//	map-order     map-iteration order reaching serialized output unsorted
+//	nondet-source time.Now / unseeded math/rand / os.Getenv in model code
+//	mutex-held-blocking  mutexes held across blocking work; lost unlocks
+//	ctx-hygiene   unstoppable goroutines; dropped/shadowed contexts
 //
-// Packages are loaded and type-checked from source. Imports inside the
-// current module resolve through the module tree; everything else (the
-// standard library) resolves through go/importer's source importer.
+// The driver is multi-pass and whole-program within the module:
+//
+//	pass 1 — load: package directories parse in parallel (the file set
+//	         is concurrency-safe) and type-check serially in import
+//	         order through a module-aware importer;
+//	pass 2 — facts: every loaded package (targets and their in-module
+//	         dependencies alike) exports per-function facts — today the
+//	         map-order taint facts, "calling F yields a value whose
+//	         element order derives from a map iteration" — iterated to
+//	         a fixpoint so taint flows through call chains and across
+//	         package boundaries;
+//	pass 3 — rules: each rule checks each target package against the
+//	         global fact store; packages are checked concurrently and
+//	         findings are merged into one position-sorted report.
+//
 // Type-check errors are tolerated: rules only act on expressions whose
 // types resolved, so partial information degrades to fewer findings, not
 // to false positives.
@@ -19,19 +36,22 @@
 // or the line above:
 //
 //	//psmlint:ignore <rule-id> [reason]
+//
+// Machine-readable output (sarif.go) and the committed findings
+// baseline (baseline.go) turn the linter into a CI gate: new findings
+// fail the build while grandfathered ones stay tracked in
+// .psmlint-baseline.json until they are fixed.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
-	"go/parser"
 	"go/token"
 	"go/types"
-	"os"
-	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one code diagnostic.
@@ -50,28 +70,118 @@ type Rule interface {
 	// ID is the stable identifier reported in findings and honored by
 	// //psmlint:ignore directives.
 	ID() string
-	// Check appends findings for one package.
-	Check(p *Package) []Finding
+	// Doc is a one-line description of what the rule catches (SARIF
+	// rule metadata, README table).
+	Doc() string
+	// Check appends findings for one package. env carries the
+	// cross-package analysis state (module layout, fact store).
+	Check(p *Package, env *Env) []Finding
 }
 
-// Rules returns every registered code rule.
+// Rules returns every registered code rule, ordered by id.
 func Rules() []Rule {
-	return []Rule{floatEqRule{}, nanGuardRule{}, errDropRule{}, obsMetricsRule{}, mergeFixpointRule{}}
+	return []Rule{
+		ctxHygieneRule{},
+		errDropRule{},
+		floatEqRule{},
+		mapOrderRule{},
+		mergeFixpointRule{},
+		mutexHeldRule{},
+		nanGuardRule{},
+		nondetSourceRule{},
+		obsMetricsRule{},
+	}
+}
+
+// RuleByID returns the registered rule with the given id.
+func RuleByID(id string) (Rule, bool) {
+	for _, r := range Rules() {
+		if r.ID() == id {
+			return r, true
+		}
+	}
+	return nil, false
 }
 
 // Package is one loaded, type-checked package.
 type Package struct {
 	Path  string
+	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
 	Info  *types.Info
 	Types *types.Package
 }
 
+// Env is the whole-program context every rule checks against: the
+// module layout (for root-relative reporting) and the fact store the
+// facts pass populated over every loaded package.
+type Env struct {
+	ModRoot string
+	ModPath string
+	Facts   *FactStore
+}
+
+// posLabel renders a position module-root-relative for embedding in
+// finding messages, keeping reports machine-independent (the finding's
+// own Pos stays absolute for editors).
+func (e *Env) posLabel(p token.Position) string {
+	return fmt.Sprintf("%s:%d", relativeURI(e.ModRoot, p.Filename), p.Line)
+}
+
+// Config tunes a driver run.
+type Config struct {
+	// Rules selects rule ids to run; empty runs every registered rule.
+	// Unknown ids are a load error.
+	Rules []string
+	// Parallelism bounds the worker goroutines of the parse and rule
+	// passes; <= 0 selects GOMAXPROCS.
+	Parallelism int
+}
+
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) rules() ([]Rule, error) {
+	if len(c.Rules) == 0 {
+		return Rules(), nil
+	}
+	var out []Rule
+	for _, id := range c.Rules {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		r, ok := RuleByID(id)
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q", id)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: no rules selected")
+	}
+	return out, nil
+}
+
 // Run loads the packages matched by patterns (relative to root, which
-// must lie inside a module) and applies every rule. Findings are sorted
-// by position.
+// must lie inside a module) and applies every registered rule.
+// Findings are sorted by position.
 func Run(root string, patterns []string) ([]Finding, error) {
+	return RunConfig(root, patterns, Config{})
+}
+
+// RunConfig is Run with driver configuration (rule selection,
+// parallelism bound).
+func RunConfig(root string, patterns []string, cfg Config) ([]Finding, error) {
+	rules, err := cfg.rules()
+	if err != nil {
+		return nil, err
+	}
 	l, err := newLoader(root)
 	if err != nil {
 		return nil, err
@@ -80,7 +190,12 @@ func Run(root string, patterns []string) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
+
+	// Pass 1 — load. Parsing fans out (the token.FileSet synchronizes
+	// internally); type-checking stays serial because the import graph
+	// orders it.
+	l.parseAll(dirs, cfg.workers())
+	var targets []*Package
 	for _, dir := range dirs {
 		pkg, err := l.loadDir(dir)
 		if err != nil {
@@ -89,15 +204,45 @@ func Run(root string, patterns []string) ([]Finding, error) {
 		if pkg == nil {
 			continue // no buildable Go files
 		}
-		sup := newSuppressions(pkg)
-		for _, r := range Rules() {
-			for _, f := range r.Check(pkg) {
-				if !sup.suppressed(r.ID(), f.Pos) {
-					findings = append(findings, f)
+		targets = append(targets, pkg)
+	}
+
+	// Pass 2 — facts, over every loaded package (in-module dependencies
+	// included: cross-package taint needs the callee's facts even when
+	// its package was not named in the patterns).
+	env := &Env{ModRoot: l.modRoot, ModPath: l.modPath, Facts: NewFactStore()}
+	ComputeFacts(l.loaded(), env)
+
+	// Pass 3 — rules, fanned out per target package. Each package has
+	// its own types.Info and the fact store is read-only by now, so the
+	// only shared mutable state is the findings slice.
+	var (
+		mu       sync.Mutex
+		findings []Finding
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, cfg.workers())
+	)
+	for _, pkg := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pkg *Package) {
+			defer func() { <-sem; wg.Done() }()
+			sup := newSuppressions(pkg)
+			var local []Finding
+			for _, r := range rules {
+				for _, f := range r.Check(pkg, env) {
+					if !sup.suppressed(r.ID(), f.Pos) {
+						local = append(local, f)
+					}
 				}
 			}
-		}
+			mu.Lock()
+			findings = append(findings, local...)
+			mu.Unlock()
+		}(pkg)
 	}
+	wg.Wait()
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -106,215 +251,15 @@ func Run(root string, patterns []string) ([]Finding, error) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 	return findings, nil
-}
-
-// --- module-aware loader ----------------------------------------------------
-
-type loader struct {
-	fset    *token.FileSet
-	modRoot string
-	modPath string
-	std     types.Importer
-	pkgs    map[string]*loadedPkg // keyed by directory
-	byPath  map[string]*types.Package
-	loading map[string]bool
-}
-
-type loadedPkg struct {
-	pkg *Package
-}
-
-func newLoader(root string) (*loader, error) {
-	modRoot, modPath, err := findModule(root)
-	if err != nil {
-		return nil, err
-	}
-	fset := token.NewFileSet()
-	return &loader{
-		fset:    fset,
-		modRoot: modRoot,
-		modPath: modPath,
-		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    map[string]*loadedPkg{},
-		byPath:  map[string]*types.Package{},
-		loading: map[string]bool{},
-	}, nil
-}
-
-// findModule walks up from dir to the enclosing go.mod and parses the
-// module path.
-func findModule(dir string) (string, string, error) {
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		return "", "", err
-	}
-	for d := abs; ; d = filepath.Dir(d) {
-		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
-		if err == nil {
-			for _, line := range strings.Split(string(data), "\n") {
-				line = strings.TrimSpace(line)
-				if rest, ok := strings.CutPrefix(line, "module"); ok {
-					return d, strings.TrimSpace(rest), nil
-				}
-			}
-			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
-		}
-		if parent := filepath.Dir(d); parent == d {
-			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
-		}
-	}
-}
-
-// expand resolves package patterns ("./...", "dir", "dir/...") into
-// package directories, skipping vendor, testdata and hidden trees.
-func (l *loader) expand(patterns []string) ([]string, error) {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	seen := map[string]bool{}
-	var dirs []string
-	add := func(d string) {
-		if !seen[d] {
-			seen[d] = true
-			dirs = append(dirs, d)
-		}
-	}
-	for _, pat := range patterns {
-		recursive := false
-		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
-			recursive = true
-			pat = rest
-			if pat == "" || pat == "." {
-				pat = "."
-			}
-		}
-		base := pat
-		if !filepath.IsAbs(base) {
-			base = filepath.Join(l.modRoot, pat)
-		}
-		st, err := os.Stat(base)
-		if err != nil || !st.IsDir() {
-			return nil, fmt.Errorf("lint: pattern %q does not name a directory", pat)
-		}
-		if !recursive {
-			add(base)
-			continue
-		}
-		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
-				return nil
-			}
-			name := d.Name()
-			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
-				name == "vendor" || name == "testdata") {
-				return filepath.SkipDir
-			}
-			add(path)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(dirs)
-	return dirs, nil
-}
-
-// Import implements types.Importer: module-internal paths load from the
-// module tree, everything else delegates to the source importer.
-func (l *loader) Import(path string) (*types.Package, error) {
-	if path == "C" {
-		return nil, fmt.Errorf("lint: cgo is not supported")
-	}
-	if p, ok := l.byPath[path]; ok {
-		return p, nil
-	}
-	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
-		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
-		pkg, err := l.loadDir(filepath.Join(l.modRoot, filepath.FromSlash(rel)))
-		if err != nil {
-			return nil, err
-		}
-		if pkg == nil {
-			return nil, fmt.Errorf("lint: no Go files in %s", path)
-		}
-		return pkg.Types, nil
-	}
-	p, err := l.std.Import(path)
-	if err != nil {
-		return nil, err
-	}
-	l.byPath[path] = p
-	return p, nil
-}
-
-// loadDir parses and type-checks the non-test Go files of one directory.
-// It returns nil (no error) when the directory holds no buildable files.
-func (l *loader) loadDir(dir string) (*Package, error) {
-	dir = filepath.Clean(dir)
-	if cached, ok := l.pkgs[dir]; ok {
-		return cached.pkg, nil
-	}
-	if l.loading[dir] {
-		return nil, fmt.Errorf("lint: import cycle through %s", dir)
-	}
-	l.loading[dir] = true
-	defer delete(l.loading, dir)
-
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		l.pkgs[dir] = &loadedPkg{}
-		return nil, nil
-	}
-
-	importPath := l.importPath(dir)
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-	}
-	conf := types.Config{
-		Importer: l,
-		Error:    func(error) {}, // tolerate: rules skip unresolved types
-	}
-	tpkg, _ := conf.Check(importPath, l.fset, files, info)
-	pkg := &Package{Path: importPath, Fset: l.fset, Files: files, Info: info, Types: tpkg}
-	l.pkgs[dir] = &loadedPkg{pkg: pkg}
-	if tpkg != nil {
-		l.byPath[importPath] = tpkg
-	}
-	return pkg, nil
-}
-
-// importPath maps a directory under the module root to its import path.
-func (l *loader) importPath(dir string) string {
-	rel, err := filepath.Rel(l.modRoot, dir)
-	if err != nil || rel == "." {
-		return l.modPath
-	}
-	return l.modPath + "/" + filepath.ToSlash(rel)
 }
 
 // --- suppression directives -------------------------------------------------

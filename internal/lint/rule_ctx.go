@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxHygieneRule enforces cancellation discipline. Module-wide, every
+// `go func() { ... }` whose body loops forever without a stop signal —
+// no select, no channel receive, no ctx.Done()/ctx.Err() check, no
+// sync.Cond wait — is an unstoppable goroutine: it outlives Close and
+// leaks across daemon restarts. In the serving-path packages (serve,
+// stream, pipeline) the rule additionally audits exported entry points
+// that accept a context.Context and then drop it (zero uses in the
+// body) or shadow it with a fresh context.Background()/TODO(): both
+// sever the caller's cancellation chain.
+type ctxHygieneRule struct{}
+
+func (ctxHygieneRule) ID() string { return "ctx-hygiene" }
+
+func (ctxHygieneRule) Doc() string {
+	return "goroutines with no stop signal; exported serve/stream/pipeline entry points dropping or shadowing their context.Context"
+}
+
+// ctxScopedPkgs are the package path tails whose exported API surface
+// gets the dropped/shadowed-context audit.
+var ctxScopedPkgs = map[string]bool{"serve": true, "stream": true, "pipeline": true}
+
+func (ctxHygieneRule) Check(p *Package, env *Env) []Finding {
+	var out []Finding
+	scoped := ctxScopedPkgs[lastPathSegment(p.Path)]
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			out = append(out, checkGoroutineStop(p, gs, lit)...)
+			return true
+		})
+		if !scoped {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			out = append(out, checkCtxParam(p, fd)...)
+		}
+	}
+	return out
+}
+
+// checkGoroutineStop flags goroutine bodies that contain an infinite
+// loop with no way to observe shutdown.
+func checkGoroutineStop(p *Package, gs *ast.GoStmt, lit *ast.FuncLit) []Finding {
+	var out []Finding
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if fs.Cond != nil {
+			return true // bounded by its condition (e.g. for ctx.Err() == nil)
+		}
+		if loopHasStopSignal(p.Info, fs.Body) {
+			return true
+		}
+		out = append(out, Finding{
+			Rule: "ctx-hygiene",
+			Pos:  p.Fset.Position(fs.For),
+			Msg:  "goroutine loops forever with no stop signal (no select, channel receive, ctx.Done/Err check, or Cond wait); it cannot be shut down",
+		})
+		return true
+	})
+	return out
+}
+
+// loopHasStopSignal reports whether a loop body can observe shutdown:
+// a select statement, a channel receive, a ctx.Done()/ctx.Err() call,
+// a sync.Cond Wait, or a return/panic that exits the loop.
+func loopHasStopSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true // blocking receive: close(ch) wakes it
+			}
+		case *ast.RangeStmt:
+			// range over a channel terminates on close.
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil {
+				switch fn.Name() {
+				case "Done", "Err":
+					if fromContextPkg(fn) {
+						found = true
+					}
+				case "Wait":
+					if pkgPath, typeName, ok := recvNamed(fn); ok && pkgPath == "sync" && typeName == "Cond" {
+						found = true
+					}
+				case "panic":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// fromContextPkg reports whether fn is a method of context.Context (or
+// any type from package context).
+func fromContextPkg(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context"
+}
+
+// checkCtxParam audits one exported function that takes a
+// context.Context: the parameter must be used, and must not be
+// shadowed by a fresh root context.
+func checkCtxParam(p *Package, fd *ast.FuncDecl) []Finding {
+	params := ctxParams(p.Info, fd)
+	if len(params) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, param := range params {
+		if param.Name() == "_" {
+			continue // explicitly discarded: the signature is for interface shape
+		}
+		uses := 0
+		shadowPos := token.NoPos
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if p.Info.Uses[n] == param {
+					uses++
+				}
+			case *ast.AssignStmt:
+				if pos, ok := shadowingRootCtx(p.Info, n, param.Name()); ok {
+					shadowPos = pos
+				}
+			}
+			return true
+		})
+		switch {
+		case shadowPos.IsValid():
+			out = append(out, Finding{
+				Rule: "ctx-hygiene",
+				Pos:  p.Fset.Position(shadowPos),
+				Msg: fmt.Sprintf("exported %s shadows its context.Context %q with a fresh root context, severing the caller's cancellation chain",
+					fd.Name.Name, param.Name()),
+			})
+		case uses == 0:
+			out = append(out, Finding{
+				Rule: "ctx-hygiene",
+				Pos:  p.Fset.Position(fd.Name.Pos()),
+				Msg: fmt.Sprintf("exported %s drops its context.Context %q (never used in the body); plumb it through or name it _",
+					fd.Name.Name, param.Name()),
+			})
+		}
+	}
+	return out
+}
+
+// ctxParams returns the context.Context-typed parameters of fd.
+func ctxParams(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// shadowingRootCtx matches `name := context.Background()` /
+// `context.TODO()` (and plain = assignment) over an in-scope context
+// parameter of the same name.
+func shadowingRootCtx(info *types.Info, as *ast.AssignStmt, name string) (token.Pos, bool) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != name || i >= len(as.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			continue
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			return id.Pos(), true
+		}
+	}
+	return token.NoPos, false
+}
+
+func lastPathSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

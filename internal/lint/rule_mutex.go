@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// mutexHeldRule reasons about critical sections: a sync.Mutex/RWMutex
+// held across a channel operation, network or file IO, a WaitGroup
+// join, a time.Sleep or an Evaluate-class statistical test serializes
+// every other path through that lock behind work of unbounded latency —
+// the exact shape of the /metrics race fixed in PR 4 (a scrape blocked
+// behind a join holding the engine lock). It also reports lost locks:
+// a Lock with no deferred Unlock whose critical section can return
+// early without releasing, and a Lock whose block never unlocks at all.
+//
+// The analysis is intra-procedural and lexical: a critical section is
+// the statement span between a `x.Lock()` statement and the matching
+// `x.Unlock()` (same receiver expression, same read/write kind) in the
+// same block, extended to the block's end when the unlock is deferred
+// or absent. Calls made through function values and closures are not
+// followed.
+type mutexHeldRule struct{}
+
+func (mutexHeldRule) ID() string { return "mutex-held-blocking" }
+
+func (mutexHeldRule) Doc() string {
+	return "mutex held across channel ops / IO / Evaluate-class calls; missing unlock on early-return paths"
+}
+
+func (mutexHeldRule) Check(p *Package, env *Env) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkFuncLocks(p, fd)...)
+		}
+	}
+	return out
+}
+
+// lockKey identifies one mutex end: receiver expression plus read/write
+// kind, so an RLock only pairs with an RUnlock on the same expression.
+func lockKey(info *types.Info, call *ast.CallExpr) (key string, lock bool, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	recv := exprKey(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return recv + "/w", true, true
+	case "Unlock":
+		return recv + "/w", false, true
+	case "RLock":
+		return recv + "/r", true, true
+	case "RUnlock":
+		return recv + "/r", false, true
+	}
+	return "", false, false
+}
+
+func stmtCall(s ast.Stmt) (*ast.CallExpr, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return call, ok
+}
+
+func checkFuncLocks(p *Package, fd *ast.FuncDecl) []Finding {
+	info := p.Info
+
+	// Deferred unlocks anywhere in the function cover the whole body.
+	deferred := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if key, lock, ok := lockKey(info, ds.Call); ok && !lock {
+			deferred[key] = true
+		}
+		return true
+	})
+
+	var out []Finding
+	var scanList func(stmts []ast.Stmt)
+	scanList = func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			call, ok := stmtCall(s)
+			if !ok {
+				continue
+			}
+			key, lock, ok := lockKey(info, call)
+			if !ok || !lock {
+				continue
+			}
+			// Critical section: up to the same-level unlock, else the
+			// rest of the block.
+			end := len(stmts)
+			for j := i + 1; j < len(stmts); j++ {
+				if c, ok := stmtCall(stmts[j]); ok {
+					if k2, l2, ok := lockKey(info, c); ok && !l2 && k2 == key {
+						end = j
+						break
+					}
+				}
+			}
+			region := stmts[i+1 : end]
+			recv := strings.TrimSuffix(strings.TrimSuffix(key, "/w"), "/r")
+			lockPos := p.Fset.Position(call.Lparen)
+			out = append(out, checkRegionBlocking(p, region, recv, lockPos)...)
+			if !deferred[key] {
+				out = append(out, checkRegionReturns(p, region, key, recv)...)
+				if end == len(stmts) && !regionUnlocks(info, region, key) {
+					out = append(out, Finding{
+						Rule: "mutex-held-blocking",
+						Pos:  lockPos,
+						Msg:  fmt.Sprintf("%s.Lock() has no matching unlock in this block and none is deferred", recv),
+					})
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures run on their own schedule
+		case *ast.BlockStmt:
+			scanList(n.List)
+		case *ast.CaseClause:
+			scanList(n.Body)
+		case *ast.CommClause:
+			scanList(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// regionUnlocks reports whether any statement in the region (nested
+// blocks included) unlocks the key — a conditional unlock still counts
+// as "a matching unlock exists".
+func regionUnlocks(info *types.Info, region []ast.Stmt, key string) bool {
+	found := false
+	for _, s := range region {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if k, lock, ok := lockKey(info, call); ok && !lock && k == key {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRegionBlocking flags blocking operations inside one critical
+// section.
+func checkRegionBlocking(p *Package, region []ast.Stmt, recv string, lockPos token.Position) []Finding {
+	info := p.Info
+	var out []Finding
+	report := func(pos token.Pos, what string) {
+		out = append(out, Finding{
+			Rule: "mutex-held-blocking",
+			Pos:  p.Fset.Position(pos),
+			Msg: fmt.Sprintf("%s while holding %s (locked at %s:%d); release the lock before blocking work",
+				what, recv, filepathBase(lockPos.Filename), lockPos.Line),
+		})
+	}
+	for _, s := range region {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // runs later, on its own goroutine or deferred
+			case *ast.SendStmt:
+				report(n.Arrow, "channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					report(n.OpPos, "channel receive")
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					report(n.Select, "select with no default case")
+				}
+			case *ast.CallExpr:
+				if what, ok := blockingCall(info, n); ok {
+					report(n.Lparen, what)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// blockingCall classifies calls of unbounded or IO-bound latency.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if pkgPath, typeName, ok := recvNamed(fn); ok {
+		switch {
+		case pkgPath == "sync" && typeName == "WaitGroup" && name == "Wait":
+			return "sync.WaitGroup.Wait", true
+		case pkgPath == "net/http" && typeName == "Client":
+			switch name {
+			case "Do", "Get", "Post", "PostForm", "Head":
+				return "http.Client." + name, true
+			}
+		case pkgPath == "os" && typeName == "File":
+			switch name {
+			case "Read", "ReadAt", "Write", "WriteAt", "WriteString", "Sync", "ReadFrom":
+				return "os.File." + name, true
+			}
+		}
+		// Evaluate-class statistical tests (merge-policy hot path): the
+		// paper's heuristic evaluation is the expensive step of a join.
+		if strings.HasPrefix(name, "Evaluate") {
+			return typeName + "." + name + " (Evaluate-class call)", true
+		}
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "Listen", "ListenPacket":
+			return "net." + name, true
+		}
+	case "net/http":
+		switch name {
+		case "Get", "Post", "PostForm", "Head", "ListenAndServe", "Serve":
+			return "http." + name, true
+		}
+	case "os":
+		switch name {
+		case "Open", "Create", "OpenFile", "ReadFile", "WriteFile":
+			return "os." + name, true
+		}
+	}
+	if strings.HasPrefix(name, "Evaluate") {
+		return fn.Pkg().Name() + "." + name + " (Evaluate-class call)", true
+	}
+	return "", false
+}
+
+// checkRegionReturns reports returns inside a critical section that can
+// leave the function without releasing the lock. Only runs when no
+// deferred unlock covers the key: a return is fine if an unlock on the
+// same key appears earlier in the return's own statement list.
+func checkRegionReturns(p *Package, region []ast.Stmt, key, recv string) []Finding {
+	info := p.Info
+	var out []Finding
+	var scanList func(stmts []ast.Stmt)
+	scanList = func(stmts []ast.Stmt) {
+		unlocked := false
+		for _, s := range stmts {
+			if c, ok := stmtCall(s); ok {
+				if k, lock, ok := lockKey(info, c); ok && !lock && k == key {
+					unlocked = true
+					continue
+				}
+			}
+			switch s := s.(type) {
+			case *ast.ReturnStmt:
+				if !unlocked {
+					out = append(out, Finding{
+						Rule: "mutex-held-blocking",
+						Pos:  p.Fset.Position(s.Return),
+						Msg:  fmt.Sprintf("return leaves the function with %s still locked and no deferred unlock", recv),
+					})
+				}
+			default:
+				if !unlocked {
+					ast.Inspect(s, func(n ast.Node) bool {
+						switch n := n.(type) {
+						case *ast.FuncLit:
+							return false
+						case *ast.BlockStmt:
+							scanList(n.List)
+							return false
+						case *ast.CaseClause:
+							scanList(n.Body)
+							return false
+						case *ast.CommClause:
+							scanList(n.Body)
+							return false
+						}
+						_ = n
+						return true
+					})
+				}
+			}
+		}
+	}
+	scanList(region)
+	return out
+}
+
+// filepathBase is a tiny local base-name helper (avoids importing
+// path/filepath just for diagnostics).
+func filepathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

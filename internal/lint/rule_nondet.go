@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// nondetSourceRule keeps ambient nondeterminism out of the
+// model-construction packages (internal/psm, internal/mining,
+// internal/stream): the streamed ≡ batch and parallel ≡ sequential
+// guarantees are byte-identity claims, and a time.Now, an unseeded
+// math/rand draw or an os.Getenv on a model path makes two identical
+// runs diverge silently. Wall-clock metrics and deliberate
+// environment probes are allowlisted per site with
+// //psmlint:ignore nondet-source and a justification.
+type nondetSourceRule struct{}
+
+func (nondetSourceRule) ID() string { return "nondet-source" }
+
+func (nondetSourceRule) Doc() string {
+	return "time.Now / unseeded math/rand / os.Getenv reaching model-construction code (internal/psm, internal/mining, internal/stream)"
+}
+
+// nondetScopedPkgs are the import-path suffixes the rule applies to —
+// the packages whose outputs must be reproducible byte for byte.
+var nondetScopedPkgs = []string{"internal/psm", "internal/mining", "internal/stream"}
+
+func inNondetScope(path string) bool {
+	for _, s := range nondetScopedPkgs {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (nondetSourceRule) Check(p *Package, env *Env) []Finding {
+	if !inNondetScope(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. a seeded *rand.Rand) are fine
+			}
+			if reason, bad := nondetFunc(fn.Pkg().Path(), fn.Name()); bad {
+				out = append(out, Finding{
+					Rule: "nondet-source",
+					Pos:  p.Fset.Position(call.Lparen),
+					Msg: fmt.Sprintf("%s.%s in model-construction code: %s; inject the value from the caller or allowlist with //psmlint:ignore nondet-source",
+						fn.Pkg().Name(), fn.Name(), reason),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// nondetFunc classifies package-level functions whose result differs
+// across identical runs.
+func nondetFunc(pkgPath, name string) (string, bool) {
+	switch pkgPath {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			return "wall-clock reads differ across runs", true
+		}
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			return "the environment differs across hosts and runs", true
+		}
+	case "math/rand", "math/rand/v2":
+		switch name {
+		// Constructors take an explicit source/seed and stay
+		// reproducible; everything else draws from the auto-seeded
+		// global generator.
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return "", false
+		default:
+			return "the global generator is auto-seeded (nondeterministic since go1.20)", true
+		}
+	}
+	return "", false
+}

@@ -81,7 +81,11 @@ type floatEqRule struct{}
 
 func (floatEqRule) ID() string { return "float-eq" }
 
-func (floatEqRule) Check(p *Package) []Finding {
+func (floatEqRule) Doc() string {
+	return "naked ==/!= between floating-point expressions (tolerance or IsNaN/IsInf required)"
+}
+
+func (floatEqRule) Check(p *Package, env *Env) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -128,7 +132,11 @@ type nanGuardRule struct{}
 
 func (nanGuardRule) ID() string { return "nan-guard" }
 
-func (nanGuardRule) Check(p *Package) []Finding {
+func (nanGuardRule) Doc() string {
+	return "float division whose denominator has no zero/NaN guard in the enclosing function"
+}
+
+func (nanGuardRule) Check(p *Package, env *Env) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
@@ -335,7 +343,11 @@ func errDropAllowed(info *types.Info, call *ast.CallExpr) bool {
 	return false
 }
 
-func (errDropRule) Check(p *Package) []Finding {
+func (errDropRule) Doc() string {
+	return "statement-position calls silently discarding an error result"
+}
+
+func (errDropRule) Check(p *Package, env *Env) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -382,7 +394,11 @@ type obsMetricsRule struct{}
 
 func (obsMetricsRule) ID() string { return "obs-metrics" }
 
-func (obsMetricsRule) Check(p *Package) []Finding {
+func (obsMetricsRule) Doc() string {
+	return "expvar imported outside internal/obs, the module's single metrics facade"
+}
+
+func (obsMetricsRule) Check(p *Package, env *Env) []Finding {
 	if p.Path == "internal/obs" || strings.HasSuffix(p.Path, "/internal/obs") {
 		return nil
 	}
@@ -417,7 +433,11 @@ type mergeFixpointRule struct{}
 
 func (mergeFixpointRule) ID() string { return "merge-fixpoint" }
 
-func (mergeFixpointRule) Check(p *Package) []Finding {
+func (mergeFixpointRule) Doc() string {
+	return "restart-scan merge fixpoints over .States outside internal/psm (use the worklist join engine)"
+}
+
+func (mergeFixpointRule) Check(p *Package, env *Env) []Finding {
 	if p.Path == "internal/psm" || strings.HasSuffix(p.Path, "/internal/psm") {
 		return nil
 	}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF 2.1.0 output — the static-analysis interchange format GitHub
+// code scanning and most CI viewers ingest. Only the subset psmlint
+// emits is modeled; field names follow the spec exactly.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string          `json:"name"`
+	InformationURI string          `json:"informationUri"`
+	Version        string          `json:"version"`
+	Rules          []sarifRuleDesc `json:"rules"`
+}
+
+type sarifRuleDesc struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as one SARIF 2.1.0 run. root, when
+// non-empty, strips to module-root-relative URIs so the report is
+// machine-independent; rules lists every rule that ran (all of them
+// appear in the driver metadata, found or not, so a clean run still
+// documents its coverage).
+func WriteSARIF(w io.Writer, findings []Finding, rules []Rule, root string) error {
+	sorted := make([]Rule, len(rules))
+	copy(sorted, rules)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
+
+	ruleIndex := map[string]int{}
+	descs := make([]sarifRuleDesc, 0, len(sorted))
+	for i, r := range sorted {
+		ruleIndex[r.ID()] = i
+		descs = append(descs, sarifRuleDesc{
+			ID:               r.ID(),
+			ShortDescription: sarifMessage{Text: r.Doc()},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := ruleIndex[f.Rule]
+		if !ok {
+			idx = -1
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       relativeURI(root, f.Pos.Filename),
+						URIBaseID: "SRCROOT",
+					},
+					Region: sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "psmlint",
+				InformationURI: "https://example.invalid/psmkit/psmlint",
+				Version:        "2.0.0",
+				Rules:          descs,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}
+
+// relativeURI renders a finding path relative to root with forward
+// slashes (SARIF URIs are /-separated regardless of platform).
+func relativeURI(root, path string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && !isDotDot(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+func isDotDot(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == "../"
+}

@@ -1,0 +1,424 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the map-order taint engine shared by the map-order rule
+// (findings) and the facts pass (cross-package propagation). The
+// analysis is intra-procedural and flow-ordered by source position: an
+// event stream (taints, aliases, sort-clears, sinks, returns) is
+// collected from the function body, sorted by position, and replayed
+// against a live taint set — so `sort.Strings(keys)` between the
+// map-range append and the write clears the hazard, while the same
+// write before the sort reports it.
+
+// isMapExpr reports whether e's resolved type is a map.
+func isMapExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// ioWriterIface is a structural io.Writer used to classify emission
+// receivers without importing package io into the analysis universe.
+var ioWriterIface = func() *types.Interface {
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// implementsWriter reports whether t (or *t) satisfies io.Writer.
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, ioWriterIface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), ioWriterIface)
+	}
+	return false
+}
+
+// recvNamed resolves a method's receiver to (pkgPath, typeName).
+func recvNamed(fn *types.Func) (string, string, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), true
+}
+
+// emissionSink classifies a call as a per-iteration serialization
+// emission: executed once per loop turn, it commits bytes (or hash
+// state) in iteration order, which no later sort can repair.
+func emissionSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	if pkg := fn.Pkg(); pkg != nil && fn.Type().(*types.Signature).Recv() == nil {
+		switch {
+		case pkg.Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"):
+			return "fmt." + fn.Name(), true
+		case pkg.Path() == "io" && fn.Name() == "WriteString":
+			return "io.WriteString", true
+		}
+	}
+	pkgPath, typeName, ok := recvNamed(fn)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case pkgPath == "encoding/gob" && typeName == "Encoder" && fn.Name() == "Encode":
+		return "gob.Encoder.Encode", true
+	case pkgPath == "encoding/json" && typeName == "Encoder" && fn.Name() == "Encode":
+		return "json.Encoder.Encode", true
+	}
+	if !strings.HasPrefix(fn.Name(), "Write") {
+		return "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	if implementsWriter(sig.Recv().Type()) {
+		return fmt.Sprintf("(%s.%s).%s", shortPkg(pkgPath), typeName, fn.Name()), true
+	}
+	return "", false
+}
+
+// argSink classifies a call that serializes its arguments: a tainted
+// (map-ordered) value among the returned args lands in output bytes.
+func argSink(info *types.Info, call *ast.CallExpr) (string, []ast.Expr, bool) {
+	if desc, ok := emissionSink(info, call); ok {
+		args := call.Args
+		if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+			// fmt.Fprint*/io.WriteString: the writer argument itself is
+			// not serialized — only what follows it.
+			if fn.Pkg().Path() == "fmt" || fn.Pkg().Path() == "io" {
+				if len(args) > 0 {
+					args = args[1:]
+				}
+			}
+		}
+		return desc, args, true
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", nil, false
+	}
+	if fn.Pkg().Path() == "encoding/json" && (fn.Name() == "Marshal" || fn.Name() == "MarshalIndent") {
+		return "json." + fn.Name(), call.Args[:1], true
+	}
+	return "", nil, false
+}
+
+// sortClearArg reports the expression a sorting call canonicalizes
+// (sort.Strings(x), sort.Slice(x, less), slices.Sort(x), ...).
+func sortClearArg(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return nil, false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return call.Args[0], true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return call.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// --- event stream -----------------------------------------------------------
+
+const (
+	evTaint  = iota // direct taint: append (or fact call) inside a map range
+	evAppend        // append outside a map range: tainted if a source is
+	evAlias         // plain assignment: copies or clears taint
+	evClear         // sort call (or handoff to an unknown callee)
+	evSink          // serialization of a possibly tainted value
+	evRet           // return of a possibly tainted value
+)
+
+type taintEvent struct {
+	pos    token.Pos
+	kind   int
+	key    string   // primary expression key (lhs, sorted arg, sunk arg)
+	srcs   []string // taint sources for evAppend/evAlias
+	origin taintVal // provenance for evTaint
+	msg    string   // sink description
+}
+
+// taintVal is one live taint: where the map iteration happened and —
+// when it flowed in through a call — which function carried it.
+type taintVal struct {
+	origin token.Position
+	via    string // producer FullName for cross-function taint, else ""
+}
+
+func (v taintVal) describe(env *Env) string {
+	if v.via != "" {
+		return fmt.Sprintf("a map iteration in %s (%s)", v.via, env.posLabel(v.origin))
+	}
+	return fmt.Sprintf("a map iteration (%s)", env.posLabel(v.origin))
+}
+
+type mapOrderResult struct {
+	findings []Finding
+	// retOrigin is the origin of the first tainted return value — the
+	// seed of this function's cross-package TaintFact.
+	retOrigin *token.Position
+}
+
+// analyzeMapOrder runs the taint engine over one function.
+func analyzeMapOrder(p *Package, env *Env, fd *ast.FuncDecl) mapOrderResult {
+	info := p.Info
+
+	// Map-range body spans: taint introduction and per-iteration
+	// emission both key off "is this position inside one".
+	type span struct{ from, to, rng token.Pos }
+	var mapSpans []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok && isMapExpr(info, rs.X) {
+			mapSpans = append(mapSpans, span{rs.Body.Pos(), rs.Body.End(), rs.For})
+		}
+		return true
+	})
+	inMapRange := func(pos token.Pos) (token.Pos, bool) {
+		for _, s := range mapSpans {
+			if pos >= s.from && pos < s.to {
+				return s.rng, true
+			}
+		}
+		return token.NoPos, false
+	}
+
+	// Slice-range spans: appending inside `for _, k := range tainted`
+	// propagates the source's taint to the destination.
+	type rspan struct {
+		from, to token.Pos
+		key      string
+	}
+	var sliceSpans []rspan
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok && !isMapExpr(info, rs.X) {
+			sliceSpans = append(sliceSpans, rspan{rs.Body.Pos(), rs.Body.End(), exprKey(unwrap(info, rs.X))})
+		}
+		return true
+	})
+	enclosingRangeKeys := func(pos token.Pos) []string {
+		var out []string
+		for _, s := range sliceSpans {
+			if pos >= s.from && pos < s.to {
+				out = append(out, s.key)
+			}
+		}
+		return out
+	}
+
+	var events []taintEvent
+	var res mapOrderResult
+	factOrigin := func(e ast.Expr) (TaintFact, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return TaintFact{}, false
+		}
+		return env.Facts.Tainted(calleeFunc(info, call))
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Ranging a tainted slice hands its order to the loop
+			// variable: `for _, k := range keys` taints k when keys is.
+			if !isMapExpr(info, n.X) {
+				if v, ok := n.Value.(*ast.Ident); ok && v.Name != "_" {
+					events = append(events, taintEvent{
+						pos: n.For, kind: evAlias, key: v.Name,
+						srcs: []string{exprKey(unwrap(info, n.X))},
+					})
+				}
+			}
+		case *ast.CallExpr:
+			if desc, ok := emissionSink(info, n); ok {
+				if rng, inside := inMapRange(n.Lparen); inside {
+					res.findings = append(res.findings, Finding{
+						Rule: "map-order",
+						Pos:  p.Fset.Position(n.Lparen),
+						Msg: fmt.Sprintf("%s inside a map range emits in nondeterministic iteration order (range at %s); iterate sorted keys instead",
+							desc, env.posLabel(p.Fset.Position(rng))),
+					})
+					return true
+				}
+			}
+			if arg, ok := sortClearArg(info, n); ok {
+				events = append(events, taintEvent{pos: n.Lparen, kind: evClear, key: exprKey(unwrap(info, arg))})
+				return true
+			}
+			if desc, args, ok := argSink(info, n); ok {
+				for _, a := range args {
+					if fact, hit := factOrigin(a); hit {
+						res.findings = append(res.findings, Finding{
+							Rule: "map-order",
+							Pos:  p.Fset.Position(n.Lparen),
+							Msg: fmt.Sprintf("%s serializes the result of %s, whose order derives from a map iteration (%s), without an intervening sort",
+								desc, fact.Func, env.posLabel(fact.Origin)),
+						})
+						continue
+					}
+					events = append(events, taintEvent{pos: n.Lparen, kind: evSink, key: exprKey(unwrap(info, a)), msg: desc})
+				}
+				return true
+			}
+			// Handing a value to any other named function transfers
+			// responsibility (the callee may sort it): clear its taint
+			// rather than guess. Builtins (len, cap, copy, append —
+			// handled separately) resolve to no *types.Func and are
+			// left alone.
+			if fn := calleeFunc(info, n); fn != nil {
+				if isAppendCall(info, n) {
+					return true
+				}
+				for _, a := range n.Args {
+					events = append(events, taintEvent{pos: n.Lparen, kind: evClear, key: exprKey(unwrap(info, a))})
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, isIdent := lhs.(*ast.Ident)
+				if isIdent && id.Name == "_" {
+					continue
+				}
+				lhsKey := exprKey(lhs)
+				rhs := ast.Unparen(n.Rhs[i])
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if isAppendCall(info, call) {
+						ev := taintEvent{pos: n.TokPos, kind: evAppend, key: lhsKey}
+						if rng, inside := inMapRange(n.TokPos); inside {
+							ev.kind = evTaint
+							ev.origin = taintVal{origin: p.Fset.Position(rng)}
+						} else {
+							for _, a := range call.Args {
+								ev.srcs = append(ev.srcs, exprKey(unwrap(info, a)))
+							}
+							ev.srcs = append(ev.srcs, enclosingRangeKeys(n.TokPos)...)
+						}
+						events = append(events, ev)
+						continue
+					}
+					if fact, ok := env.Facts.Tainted(calleeFunc(info, call)); ok {
+						events = append(events, taintEvent{
+							pos: n.TokPos, kind: evTaint, key: lhsKey,
+							origin: taintVal{origin: fact.Origin, via: fact.Func},
+						})
+						continue
+					}
+				}
+				events = append(events, taintEvent{
+					pos: n.TokPos, kind: evAlias, key: lhsKey,
+					srcs: []string{exprKey(unwrap(info, n.Rhs[i]))},
+				})
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if fact, ok := factOrigin(e); ok && res.retOrigin == nil {
+					res.retOrigin = &fact.Origin
+					continue
+				}
+				events = append(events, taintEvent{pos: n.Return, kind: evRet, key: exprKey(unwrap(info, e))})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	tainted := map[string]taintVal{}
+	for _, ev := range events {
+		switch ev.kind {
+		case evTaint:
+			tainted[ev.key] = ev.origin
+		case evAppend:
+			if _, already := tainted[ev.key]; already {
+				break // appending more elements keeps the taint
+			}
+			for _, s := range ev.srcs {
+				if o, ok := tainted[s]; ok {
+					tainted[ev.key] = o
+					break
+				}
+			}
+		case evAlias:
+			if o, ok := tainted[ev.srcs[0]]; ok {
+				tainted[ev.key] = o
+			} else {
+				delete(tainted, ev.key)
+			}
+		case evClear:
+			delete(tainted, ev.key)
+		case evSink:
+			if o, ok := tainted[ev.key]; ok {
+				res.findings = append(res.findings, Finding{
+					Rule: "map-order",
+					Pos:  p.Fset.Position(ev.pos),
+					Msg: fmt.Sprintf("%s serializes %q, whose order derives from %s, without an intervening sort",
+						ev.msg, ev.key, o.describe(env)),
+				})
+			}
+		case evRet:
+			if o, ok := tainted[ev.key]; ok && res.retOrigin == nil {
+				op := o.origin
+				res.retOrigin = &op
+			}
+		}
+	}
+	return res
+}
+
+// isAppendCall reports whether the call is the append builtin.
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
