@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fmt vet lint lint-sarif verify fuzz psmd-smoke bench-obs bench-join ci
+.PHONY: build test race fmt vet lint lint-sarif verify fuzz psmd-smoke bench-obs bench-join bench-power bench-ingest ci
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ race:
 	# Concurrency layer under load: GOMAXPROCS>1 so the pools really
 	# interleave even on single-core CI runners (the equivalence and
 	# property tests inside force worker counts > 1).
-	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/pipeline ./internal/mining ./internal/experiment ./internal/serve ./internal/stream ./internal/psm
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/pipeline ./internal/mining ./internal/experiment ./internal/serve ./internal/stream ./internal/psm ./internal/power ./internal/hdl
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -72,6 +72,23 @@ bench-join:
 	BENCH_JOIN=1 $(GO) test -run TestJoinScalingGate -count=1 -v .
 	$(GO) run ./scripts/bench_join
 
+# Power-kernel scaling gate: the columnar word-scan Estimator must beat
+# the scalar ReferenceEstimator walk by >=5x wall clock with bit-identical
+# cycle traces on the 4096-element banked register file (the gate only
+# runs under BENCH_POWER=1), then the sweep refreshes BENCH_power.json.
+bench-power:
+	BENCH_POWER=1 $(GO) test -run TestPowerKernelGate -count=1 -v .
+	$(GO) run ./scripts/bench_power
+
+# Ingest scaling gate: the zero-copy Scanner/arena/AppendBatch path must
+# beat the bufio/encoding-json Decoder + per-record Append path by >=2x
+# wall clock while mining the identical model (the gate only runs under
+# BENCH_INGEST=1), then the sweep refreshes BENCH_ingest.json with the
+# absolute records/s/core rate.
+bench-ingest:
+	BENCH_INGEST=1 $(GO) test -run TestIngestGate -count=1 -v .
+	$(GO) run ./scripts/bench_ingest
+
 # Short fuzz smoke: run each native fuzz target for a few seconds on top
 # of its committed seed corpus (testdata/fuzz/). Longer sessions: raise
 # FUZZTIME or run `go test -fuzz` by hand.
@@ -79,6 +96,7 @@ FUZZTIME ?= 5s
 fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzVCDParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/check -run '^$$' -fuzz FuzzModelJSON -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stream -run '^$$' -fuzz FuzzWireScan -fuzztime $(FUZZTIME)
 
 ci: fmt vet build race lint verify fuzz psmd-smoke
 	@echo "ci: all gates passed"

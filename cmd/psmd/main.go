@@ -54,6 +54,7 @@ func main() {
 	maxRecords := flag.Int("max-records", serve.DefaultConfig().Stream.MaxRecords, "per-session record limit (0 = unlimited)")
 	maxSessions := flag.Int("max-sessions", serve.DefaultConfig().Stream.MaxOpenSessions, "concurrently open upload sessions (0 = unlimited)")
 	maxLine := flag.Int("max-line-bytes", 1<<20, "NDJSON line length limit for uploads")
+	ingestBatch := flag.Int("ingest-batch", 256, "records per ingest batch (amortizes the atom-signature reduction)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for snapshot rebuilds (model is identical for any value)")
 	joinMemo := flag.Int("join-memo", 0, "merge-verdict memo entry bound for the incremental join (0 = package default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
@@ -69,6 +70,7 @@ func main() {
 	cfg.Stream.MaxOpenSessions = *maxSessions
 	cfg.Stream.JoinMemoEntries = *joinMemo
 	cfg.MaxLineBytes = *maxLine
+	cfg.IngestBatch = *ingestBatch
 	if *inputs != "" {
 		cfg.Stream.Inputs = strings.Split(*inputs, ",")
 	}

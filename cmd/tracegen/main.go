@@ -81,7 +81,10 @@ func capture(ipName string, n int, seed int64, stalls bool) (*trace.Functional, 
 }
 
 // runStream emits the captured trace as one NDJSON upload session,
-// throttled to rate records per second when positive.
+// throttled to rate records per second when positive. Unthrottled
+// emission is allocation-free per record (Encoder.WriteRow assembles
+// each line in a reused buffer), so throughput is bounded by the
+// capture, not serialization.
 func runStream(w io.Writer, ipName string, n int, seed int64, stalls bool, rate float64) error {
 	ft, pw, inputCols, err := capture(ipName, n, seed, stalls)
 	if err != nil {

@@ -109,6 +109,12 @@ type Reg struct {
 	val     logic.Vector
 	resetTo logic.Vector
 	toggles int
+
+	// When bound to a ToggleBank, activity is published to the bank's
+	// columns at slot bankID and the fields above act as read-through
+	// accessors only (toggles stays 0; gated mirrors the bank's plane).
+	bank   *ToggleBank
+	bankID int
 }
 
 // NewReg returns a memory element of the given width, reset to zero.
@@ -153,7 +159,13 @@ func (r *Reg) Get() logic.Vector { return r.val }
 // more than once per cycle accumulates activity, which models glitching on
 // the tracked net.
 func (r *Reg) Set(v logic.Vector) {
-	r.toggles += r.val.HammingDistance(v)
+	if hd := r.val.HammingDistance(v); hd != 0 {
+		if r.bank != nil {
+			r.bank.add(r.bankID, hd)
+		} else {
+			r.toggles += hd
+		}
+	}
 	r.val = v.Clone()
 }
 
@@ -164,14 +176,28 @@ func (r *Reg) SetUint64(v uint64) {
 
 // Gate marks the element's clock as gated (g = true) or active for the
 // current cycle. Gating is re-evaluated by the core every cycle.
-func (r *Reg) Gate(g bool) { r.gated = g }
+func (r *Reg) Gate(g bool) {
+	if r.bank != nil {
+		r.bank.gate(r.bankID, g)
+		return
+	}
+	r.gated = g
+}
 
 // Gated reports whether the element's clock is gated this cycle.
-func (r *Reg) Gated() bool { return r.gated }
+func (r *Reg) Gated() bool {
+	if r.bank != nil {
+		return r.bank.isGated(r.bankID)
+	}
+	return r.gated
+}
 
 // TakeToggles returns the switching activity accumulated since the last
 // call and resets the counter. The power estimator calls it once per cycle.
 func (r *Reg) TakeToggles() int {
+	if r.bank != nil {
+		return r.bank.drain(r.bankID)
+	}
 	t := r.toggles
 	r.toggles = 0
 	return t
@@ -180,8 +206,13 @@ func (r *Reg) TakeToggles() int {
 // Reset restores the power-on value without charging toggles.
 func (r *Reg) Reset() {
 	r.val = r.resetTo.Clone()
-	r.toggles = 0
-	r.gated = false
+	if r.bank != nil {
+		r.bank.drain(r.bankID)
+		r.bank.gate(r.bankID, false)
+	} else {
+		r.toggles = 0
+		r.gated = false
+	}
 }
 
 // MemoryBits returns the total number of memory-element bits of a core —

@@ -389,16 +389,22 @@ func (x Vector) String() string {
 
 // Hex returns the zero-padded hex representation of x without any prefix.
 func (x Vector) Hex() string {
+	return string(x.AppendHex(make([]byte, 0, (x.width+3)/4)))
+}
+
+// AppendHex appends Hex() to dst and returns the extended slice. It is
+// the allocation-free form used by the NDJSON encoder's hot path.
+func (x Vector) AppendHex(dst []byte) []byte {
 	digits := (x.width + 3) / 4
 	if digits == 0 {
-		return "0"
+		return append(dst, '0')
 	}
-	var sb strings.Builder
+	const hexdigits = "0123456789abcdef"
 	for i := digits - 1; i >= 0; i-- {
 		d := (x.words[(i*4)/wordBits] >> ((i * 4) % wordBits)) & 0xf
-		fmt.Fprintf(&sb, "%x", d)
+		dst = append(dst, hexdigits[d])
 	}
-	return sb.String()
+	return dst
 }
 
 func wordsFor(width int) int { return (width + wordBits - 1) / wordBits }

@@ -80,6 +80,51 @@ func (o *Observer) Observe(row []logic.Vector, dst []uint64) []uint64 {
 	return dst
 }
 
+// ObserveBatch folds a batch of rows into the statistics at once,
+// writing row r's packed truth bits at dst[r*SigWords(NumAtoms()):].
+// It is exactly equivalent to calling Observe row by row — every
+// AtomStats field is an exact count, so increment order is immaterial —
+// but iterates atoms on the outer loop, loading each atom's metadata,
+// statistics slot and previous-value bit once per batch instead of once
+// per row. This is the batched reduction behind Session.AppendBatch.
+func (o *Observer) ObserveBatch(rows [][]logic.Vector, dst []uint64) []uint64 {
+	words := SigWords(len(o.atoms))
+	need := words * len(rows)
+	if cap(dst) < need {
+		dst = make([]uint64, need)
+	}
+	dst = dst[:need]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(rows) == 0 {
+		return dst
+	}
+	first := o.rows == 0
+	for i, a := range o.atoms {
+		st := &o.stats[i]
+		prev := o.prev[i]
+		word, bit := i/64, uint64(1)<<uint(i%64)
+		for r, row := range rows {
+			v := a.Eval(row)
+			if v {
+				dst[r*words+word] |= bit
+				st.Held++
+				st.EverTrue = true
+			} else {
+				st.EverFalse = true
+			}
+			if !(first && r == 0) && v != prev {
+				st.Changes++
+			}
+			prev = v
+		}
+		o.prev[i] = prev
+	}
+	o.rows += len(rows)
+	return dst
+}
+
 // Stats returns the per-atom statistics accumulated so far. The returned
 // slice is the observer's own storage; callers that outlive the observer
 // should MergeStats it into their accumulator instead of retaining it.

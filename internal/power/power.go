@@ -22,13 +22,21 @@
 // deterministic measurement jitter is added per cycle so reference traces
 // exhibit the σ > 0 that real gate-level power reports show.
 //
-// Like its real counterpart, the estimator walks every element of the
-// design every cycle — which is exactly why it is one to two orders of
-// magnitude slower than plain functional simulation, and why the paper's
-// PSMs are worth generating.
+// Two kernels share that model. Estimator is the production kernel: it
+// binds the core's elements to an hdl.ToggleBank and consumes a cycle's
+// activity by scanning the bank's packed bit planes — untouched, gated
+// words are skipped 64 elements per compare — with boundary I/O diffed
+// through index-stable pre-bound vector slots instead of cloned maps.
+// ReferenceEstimator is the historical per-element walk, retained as the
+// differential oracle: both kernels visit charged elements in the same
+// index order and perform the same float operations, so their traces are
+// bit-identical (zero-contribution elements the columnar kernel skips
+// would have added exactly 0.0, the IEEE-754 additive identity for the
+// non-negative sums involved).
 package power
 
 import (
+	"math/bits"
 	"strings"
 	"time"
 
@@ -72,27 +80,139 @@ func DefaultConfig() Config {
 	}
 }
 
-// Estimator computes per-cycle dynamic power for one core. Create it with
-// NewEstimator after the core is constructed, attach it to the simulation
-// via Observer (or call CyclePower manually after every Step), and read
-// the accumulated trace from Trace.
+// IOGroup is the reserved subcomponent name for boundary I/O power when a
+// classifier is installed.
+const IOGroup = "io"
+
+// elaborateCaps assigns the per-instance data and clock capacitances —
+// the deterministic "synthesis" both kernels must agree on exactly.
+func elaborateCaps(elems []*hdl.Reg, cfg Config) (dataCap, clockCap []float64) {
+	dataCap = make([]float64, len(elems))
+	clockCap = make([]float64, len(elems))
+	for i, r := range elems {
+		// Deterministic per-instance drive-strength spread in [0.8, 1.2],
+		// like the cell sizing a synthesis tool would pick. Array
+		// elements (names differing only in their index) share one
+		// factor: the slices of a memory array or register file are
+		// physically identical cells.
+		f := 0.8 + 0.4*unit(hashName(baseName(r.Name())))
+		dataCap[i] = cfg.DataCapF * f
+		if r.IsMemory() {
+			clockCap[i] = cfg.ClockCapF * f * float64(r.Width())
+		}
+	}
+	return dataCap, clockCap
+}
+
+// classify interns a group id per element plus the reserved I/O group.
+func classify(elems []*hdl.Reg, groupFor func(string) string) (groupOf []int, names []string, ioGroup int) {
+	index := map[string]int{}
+	intern := func(name string) int {
+		if i, ok := index[name]; ok {
+			return i
+		}
+		index[name] = len(names)
+		names = append(names, name)
+		return len(names) - 1
+	}
+	groupOf = make([]int, len(elems))
+	for i, r := range elems {
+		groupOf[i] = intern(groupFor(r.Name()))
+	}
+	ioGroup = intern(IOGroup)
+	return groupOf, names, ioGroup
+}
+
+func groupTraceByName(names []string, traces [][]float64, name string) []float64 {
+	for i, n := range names {
+		if n == name {
+			return traces[i]
+		}
+	}
+	return nil
+}
+
+// boundary is one direction's pre-bound I/O history: one slot per
+// declared port, resolved once at elaboration. Slots hold the previous
+// cycle's vectors by reference — logic.Vector is immutable through its
+// exported API, so retaining the caller's values is safe and clone-free —
+// and validity is tracked explicitly, which makes the history's ownership
+// unambiguous: the estimator never retains the caller's Values map, and
+// Reset severs every reference it holds.
+type boundary struct {
+	names []string
+	prev  []logic.Vector
+	ok    []bool
+	armed bool // false until the first cycle has populated the slots
+}
+
+func newBoundary(ports []hdl.PortSpec, dir hdl.PortDir) *boundary {
+	b := &boundary{}
+	for _, p := range ports {
+		if p.Dir == dir {
+			b.names = append(b.names, p.Name)
+		}
+	}
+	b.prev = make([]logic.Vector, len(b.names))
+	b.ok = make([]bool, len(b.names))
+	return b
+}
+
+// toggles returns the Hamming distance between the previous and current
+// valuations over the declared ports, then retains cur's vectors as the
+// new history. The first call after reset charges nothing (no history).
+func (b *boundary) toggles(cur hdl.Values) int {
+	n := 0
+	for i, name := range b.names {
+		v, ok := cur[name]
+		if ok && b.armed && b.ok[i] {
+			n += b.prev[i].HammingDistance(v)
+		}
+		b.prev[i], b.ok[i] = v, ok
+	}
+	b.armed = true
+	return n
+}
+
+func (b *boundary) reset() {
+	for i := range b.prev {
+		b.prev[i], b.ok[i] = logic.Vector{}, false
+	}
+	b.armed = false
+}
+
+// Estimator computes per-cycle dynamic power for one core over columnar
+// activity state. Create it with NewEstimator after the core is
+// constructed — this binds the core's elements to a fresh
+// hdl.ToggleBank, so one core supports exactly one Estimator — attach it
+// to the simulation via Observer (or call CyclePower manually after
+// every Step), and read the accumulated trace from Trace.
+//
+// Boundary accounting covers the core's declared ports; the historical
+// kernel diffed whatever keys two consecutive Values maps shared, which
+// is the same set for any simulator-driven core.
 type Estimator struct {
 	cfg   Config
 	core  hdl.Core
 	elems []*hdl.Reg
+	bank  *hdl.ToggleBank
 	// dataCap[i] is the per-toggle capacitance of elems[i]; clockCap[i] is
 	// its total clock-pin capacitance (0 for nets).
 	dataCap  []float64
 	clockCap []float64
-	ioCap    float64
-	scale    float64 // ½·V²·f
+	// clocked is the plane of elements with clockCap != 0: the only ones
+	// whose un-gated cycles charge anything. Un-gated nets contribute an
+	// exact 0.0 and are skipped.
+	clocked []uint64
+	ioCap   float64
+	scale   float64 // ½·V²·f
 
-	prevIn  map[string]logic.Vector
-	prevOut map[string]logic.Vector
+	in, out *boundary
 
 	rng      uint64
 	trace    []float64
 	elabTime time.Duration
+	started  bool
 
 	// Per-subcomponent accounting (hierarchical PSM extension): when a
 	// classifier is installed, every element belongs to a group and the
@@ -105,14 +225,11 @@ type Estimator struct {
 	groupAccum  []float64
 }
 
-// IOGroup is the reserved subcomponent name for boundary I/O power when a
-// classifier is installed.
-const IOGroup = "io"
-
 // NewEstimator elaborates the power model of a core: it enumerates the
-// design's state elements and assigns per-instance cell capacitances.
-// This is psmkit's analogue of the gate-level synthesis step that Table I
-// of the paper reports as "Syn. time".
+// design's state elements, assigns per-instance cell capacitances, and
+// binds the elements to a columnar toggle bank. This is psmkit's
+// analogue of the gate-level synthesis step that Table I of the paper
+// reports as "Syn. time".
 func NewEstimator(core hdl.Core, cfg Config) *Estimator {
 	start := time.Now()
 	e := &Estimator{
@@ -123,20 +240,17 @@ func NewEstimator(core hdl.Core, cfg Config) *Estimator {
 		scale: 0.5 * cfg.VDD * cfg.VDD * cfg.ClockHz,
 		rng:   cfg.Seed ^ hashName(core.Name()),
 	}
-	e.dataCap = make([]float64, len(e.elems))
-	e.clockCap = make([]float64, len(e.elems))
-	for i, r := range e.elems {
-		// Deterministic per-instance drive-strength spread in [0.8, 1.2],
-		// like the cell sizing a synthesis tool would pick. Array
-		// elements (names differing only in their index) share one
-		// factor: the slices of a memory array or register file are
-		// physically identical cells.
-		f := 0.8 + 0.4*unit(hashName(baseName(r.Name())))
-		e.dataCap[i] = cfg.DataCapF * f
-		if r.IsMemory() {
-			e.clockCap[i] = cfg.ClockCapF * f * float64(r.Width())
+	e.dataCap, e.clockCap = elaborateCaps(e.elems, cfg)
+	e.bank = hdl.NewToggleBank(e.elems)
+	e.clocked = make([]uint64, e.bank.Words())
+	for i := range e.elems {
+		if e.clockCap[i] != 0 {
+			e.clocked[i/64] |= 1 << uint(i%64)
 		}
 	}
+	ports := core.Ports()
+	e.in = newBoundary(ports, hdl.In)
+	e.out = newBoundary(ports, hdl.Out)
 	e.elabTime = time.Since(start)
 	return e
 }
@@ -146,23 +260,15 @@ func (e *Estimator) ElaborationTime() time.Duration { return e.elabTime }
 
 // Classify installs a subcomponent classifier: every element name maps to
 // a group, and the estimator records a separate power trace per group on
-// top of the total. Must be called before the first cycle. Boundary I/O
-// power is booked under the reserved group IOGroup.
+// top of the total. Boundary I/O power is booked under the reserved group
+// IOGroup. It must be called before the first cycle and panics otherwise:
+// group traces started mid-run would silently miss the cycles already
+// recorded and desynchronize from the total.
 func (e *Estimator) Classify(groupFor func(elementName string) string) {
-	index := map[string]int{}
-	intern := func(name string) int {
-		if i, ok := index[name]; ok {
-			return i
-		}
-		index[name] = len(e.groupNames)
-		e.groupNames = append(e.groupNames, name)
-		return len(e.groupNames) - 1
+	if e.started {
+		panic("power: Classify after the first cycle")
 	}
-	e.groupOf = make([]int, len(e.elems))
-	for i, r := range e.elems {
-		e.groupOf[i] = intern(groupFor(r.Name()))
-	}
-	e.ioGroup = intern(IOGroup)
+	e.groupOf, e.groupNames, e.ioGroup = classify(e.elems, groupFor)
 	e.groupTraces = make([][]float64, len(e.groupNames))
 	e.groupAccum = make([]float64, len(e.groupNames))
 }
@@ -172,20 +278,18 @@ func (e *Estimator) Groups() []string { return e.groupNames }
 
 // GroupTrace returns the recorded power trace of a group, or nil.
 func (e *Estimator) GroupTrace(name string) []float64 {
-	for i, n := range e.groupNames {
-		if n == name {
-			return e.groupTraces[i]
-		}
-	}
-	return nil
+	return groupTraceByName(e.groupNames, e.groupTraces, name)
 }
 
 // Reset clears the boundary history, the jitter stream and the recorded
-// trace.
+// traces. Pending element activity is left to the core's own Reset, like
+// the per-Reg counters the bank replaced.
 func (e *Estimator) Reset() {
-	e.prevIn, e.prevOut = nil, nil
+	e.in.reset()
+	e.out.reset()
 	e.rng = e.cfg.Seed ^ hashName(e.core.Name())
 	e.trace = nil
+	e.started = false
 	for i := range e.groupTraces {
 		e.groupTraces[i] = nil
 	}
@@ -197,46 +301,75 @@ func (e *Estimator) Reset() {
 // CyclePower returns the dynamic power (in watts) consumed during the
 // cycle that just executed, given its boundary valuations. It must be
 // called exactly once per Step, in order.
+//
+// The kernel is a word scan over the bank's planes: a word contributes
+// only where an element toggled (touched plane) or holds an un-gated
+// clock pin (clocked &^ gated), so a quiescent, clock-gated word of 64
+// elements costs one compare. Charged elements are visited in ascending
+// index order with the reference kernel's exact float operations.
 func (e *Estimator) CyclePower(in, out hdl.Values) float64 {
+	e.started = true
 	var c float64
 	grouped := e.groupOf != nil
-	// Data and clock power over every element of the design. Walking the
-	// full element list per cycle is the defining cost of gate-level power
-	// estimation.
-	for i, r := range e.elems {
-		var ec float64
-		if t := r.TakeToggles(); t != 0 {
-			ec += float64(t) * e.dataCap[i]
+	touched := e.bank.TouchedPlane()
+	gatedPlane := e.bank.GatedPlane()
+	for w, tw := range touched {
+		cmask := e.clocked[w] &^ gatedPlane[w]
+		act := tw | cmask
+		if act == 0 {
+			continue
 		}
-		if !r.Gated() {
-			ec += e.clockCap[i]
+		base := w * 64
+		for act != 0 {
+			bit := uint(bits.TrailingZeros64(act))
+			act &= act - 1
+			i := base + int(bit)
+			var ec float64
+			if tw&(1<<bit) != 0 {
+				if t := e.bank.DrainSlot(i); t != 0 {
+					ec += float64(t) * e.dataCap[i]
+				}
+			}
+			if cmask&(1<<bit) != 0 {
+				ec += e.clockCap[i]
+			}
+			c += ec
+			if grouped {
+				e.groupAccum[e.groupOf[i]] += ec
+			}
 		}
-		c += ec
-		if grouped {
-			e.groupAccum[e.groupOf[i]] += ec
+		if tw != 0 {
+			e.bank.ClearTouchedWord(w)
 		}
 	}
-	// Boundary I/O power.
-	io := float64(boundaryToggles(e.prevIn, in)) * e.ioCap
-	io += float64(boundaryToggles(e.prevOut, out)) * e.ioCap
+	// Boundary I/O power over the pre-bound port slots.
+	io := float64(e.in.toggles(in)) * e.ioCap
+	io += float64(e.out.toggles(out)) * e.ioCap
 	c += io
 	if grouped {
 		e.groupAccum[e.ioGroup] += io
 	}
-	e.prevIn, e.prevOut = in.Clone(), out.Clone()
 
-	// Deterministic measurement jitter, applied uniformly so the group
-	// traces always sum to the total.
+	// Deterministic measurement jitter, applied uniformly per cycle.
 	jitter := 1.0
 	if e.cfg.NoiseAmp > 0 {
 		e.rng = xorshift(e.rng)
 		jitter = 1 + e.cfg.NoiseAmp*(2*unit(e.rng)-1)
 	}
 	if grouped {
+		// The grouped total is defined as the sum of the per-group cycle
+		// values in group-id order, so the group traces sum to the total
+		// at exactly 0 ULP — the uniform-jitter contract the invariant
+		// suite pins. (Summing the raw element chain instead would drift
+		// a few ULPs from the regrouped per-group sums.)
+		var total float64
 		for g := range e.groupAccum {
-			e.groupTraces[g] = append(e.groupTraces[g], e.scale*e.groupAccum[g]*jitter)
+			v := e.scale * e.groupAccum[g] * jitter
+			e.groupTraces[g] = append(e.groupTraces[g], v)
 			e.groupAccum[g] = 0
+			total += v
 		}
+		return total
 	}
 	return e.scale * c * jitter
 }
@@ -251,19 +384,6 @@ func (e *Estimator) Observer() hdl.Observer {
 
 // Trace returns the power values recorded so far (watts per cycle).
 func (e *Estimator) Trace() []float64 { return e.trace }
-
-func boundaryToggles(prev map[string]logic.Vector, cur hdl.Values) int {
-	if prev == nil {
-		return 0
-	}
-	n := 0
-	for name, v := range cur {
-		if p, ok := prev[name]; ok {
-			n += p.HammingDistance(v)
-		}
-	}
-	return n
-}
 
 func xorshift(x uint64) uint64 {
 	x ^= x << 13

@@ -1,0 +1,163 @@
+package power
+
+import (
+	"psmkit/internal/hdl"
+	"psmkit/internal/logic"
+)
+
+// ReferenceEstimator is the historical scalar power kernel, retained
+// verbatim as the oracle of the columnar Estimator's differential suite
+// (the same role psm.JoinPooledReferenceCtx plays for the worklist join
+// engine): it walks every element of the design every cycle through the
+// per-Reg accessors and keeps its boundary history as cloned Values
+// maps. Element order, float operation order and the jitter stream are
+// exactly the Estimator's, so for any core and stimulus the two kernels
+// must produce bit-identical total and per-group traces — pinned by
+// TestColumnarMatchesReference.
+//
+// It also remains a working estimator for cores whose elements are not
+// bound to an hdl.ToggleBank (the accessors read through either way).
+type ReferenceEstimator struct {
+	cfg      Config
+	core     hdl.Core
+	elems    []*hdl.Reg
+	dataCap  []float64
+	clockCap []float64
+	ioCap    float64
+	scale    float64
+
+	prevIn  map[string]logic.Vector
+	prevOut map[string]logic.Vector
+
+	rng     uint64
+	trace   []float64
+	started bool
+
+	groupOf     []int
+	groupNames  []string
+	groupTraces [][]float64
+	ioGroup     int
+	groupAccum  []float64
+}
+
+// NewReferenceEstimator elaborates the scalar power model of a core with
+// exactly the Estimator's per-instance cell capacitances.
+func NewReferenceEstimator(core hdl.Core, cfg Config) *ReferenceEstimator {
+	e := &ReferenceEstimator{
+		cfg:   cfg,
+		core:  core,
+		elems: core.Elements(),
+		ioCap: cfg.IOCapF,
+		scale: 0.5 * cfg.VDD * cfg.VDD * cfg.ClockHz,
+		rng:   cfg.Seed ^ hashName(core.Name()),
+	}
+	e.dataCap, e.clockCap = elaborateCaps(e.elems, cfg)
+	return e
+}
+
+// Classify installs a subcomponent classifier (see Estimator.Classify).
+// It panics after the first cycle: group traces would silently miss the
+// cycles already recorded.
+func (e *ReferenceEstimator) Classify(groupFor func(elementName string) string) {
+	if e.started {
+		panic("power: Classify after the first cycle")
+	}
+	e.groupOf, e.groupNames, e.ioGroup = classify(e.elems, groupFor)
+	e.groupTraces = make([][]float64, len(e.groupNames))
+	e.groupAccum = make([]float64, len(e.groupNames))
+}
+
+// Groups returns the group names (empty without a classifier).
+func (e *ReferenceEstimator) Groups() []string { return e.groupNames }
+
+// GroupTrace returns the recorded power trace of a group, or nil.
+func (e *ReferenceEstimator) GroupTrace(name string) []float64 {
+	return groupTraceByName(e.groupNames, e.groupTraces, name)
+}
+
+// Reset clears the boundary history, the jitter stream and the recorded
+// traces.
+func (e *ReferenceEstimator) Reset() {
+	e.prevIn, e.prevOut = nil, nil
+	e.rng = e.cfg.Seed ^ hashName(e.core.Name())
+	e.trace = nil
+	e.started = false
+	for i := range e.groupTraces {
+		e.groupTraces[i] = nil
+	}
+	for i := range e.groupAccum {
+		e.groupAccum[i] = 0
+	}
+}
+
+// CyclePower is the historical per-element walk: one TakeToggles/Gated
+// round trip per element per cycle, plus a full clone of both boundary
+// maps.
+func (e *ReferenceEstimator) CyclePower(in, out hdl.Values) float64 {
+	e.started = true
+	var c float64
+	grouped := e.groupOf != nil
+	for i, r := range e.elems {
+		var ec float64
+		if t := r.TakeToggles(); t != 0 {
+			ec += float64(t) * e.dataCap[i]
+		}
+		if !r.Gated() {
+			ec += e.clockCap[i]
+		}
+		c += ec
+		if grouped {
+			e.groupAccum[e.groupOf[i]] += ec
+		}
+	}
+	io := float64(boundaryToggles(e.prevIn, in)) * e.ioCap
+	io += float64(boundaryToggles(e.prevOut, out)) * e.ioCap
+	c += io
+	if grouped {
+		e.groupAccum[e.ioGroup] += io
+	}
+	e.prevIn, e.prevOut = in.Clone(), out.Clone()
+
+	jitter := 1.0
+	if e.cfg.NoiseAmp > 0 {
+		e.rng = xorshift(e.rng)
+		jitter = 1 + e.cfg.NoiseAmp*(2*unit(e.rng)-1)
+	}
+	if grouped {
+		// Grouped totals follow the uniform-jitter contract (see
+		// Estimator.CyclePower): the total is the group values' sum in
+		// group-id order, exact at 0 ULP.
+		var total float64
+		for g := range e.groupAccum {
+			v := e.scale * e.groupAccum[g] * jitter
+			e.groupTraces[g] = append(e.groupTraces[g], v)
+			e.groupAccum[g] = 0
+			total += v
+		}
+		return total
+	}
+	return e.scale * c * jitter
+}
+
+// Observer returns an hdl.Observer that records the cycle power.
+func (e *ReferenceEstimator) Observer() hdl.Observer {
+	return func(_ int, in, out hdl.Values) {
+		e.trace = append(e.trace, e.CyclePower(in, out))
+	}
+}
+
+// Trace returns the power values recorded so far (watts per cycle).
+func (e *ReferenceEstimator) Trace() []float64 { return e.trace }
+
+func boundaryToggles(prev map[string]logic.Vector, cur hdl.Values) int {
+	if prev == nil {
+		return 0
+	}
+	n := 0
+	for name, v := range cur {
+		if p, ok := prev[name]; ok {
+			n += p.HammingDistance(v)
+		}
+	}
+	return n
+}

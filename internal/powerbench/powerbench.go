@@ -1,0 +1,148 @@
+// Package powerbench is the adversarial workload of the power-kernel
+// scaling comparison (the joinbench counterpart for internal/power): a
+// banked register file where exactly one bank is powered per cycle and
+// the rest sit clock-gated. The per-cycle work a power kernel *needs* to
+// do is proportional to one bank; the historical scalar walk still
+// visits every element of every bank, while the columnar kernel's
+// word-scan skips quiescent gated words with one compare each. The
+// benchmark gate (TestPowerKernelGate, `make bench-power`) replays the
+// same deterministic stimulus through both kernels, pins the traces
+// bit-identical, and compares min-of-N wall clock.
+package powerbench
+
+import (
+	"fmt"
+
+	"psmkit/internal/hdl"
+	"psmkit/internal/logic"
+)
+
+const (
+	// RegWidth is the width of every register in the file.
+	RegWidth = 32
+	// patterns is the size of the precomputed write-value table; Step
+	// costs O(writes) with no allocation so the kernels dominate the
+	// replay loop.
+	patterns = 16
+	// writes is how many registers of the powered bank Step writes per
+	// cycle (a rotating window), keeping the stimulus side cheap
+	// relative to the per-cycle power reduction being measured.
+	writes = 8
+	// dwell is how many cycles Stimulus holds each bank selection, so
+	// gate/ungate migration stays off the critical path.
+	dwell = 16
+)
+
+// Core is the banked register file. It implements hdl.Core.
+type Core struct {
+	banks   int
+	perBank int
+	regs    []*hdl.Reg
+	vals    [patterns]logic.Vector
+	cur     int
+	cycle   int
+}
+
+// New builds a file of banks x perBank registers. Bank 0 is powered;
+// every other bank starts clock-gated (the estimator's bank migration
+// picks that pre-bind state up, like the RAM's constructor gating).
+func New(banks, perBank int) *Core {
+	c := &Core{banks: banks, perBank: perBank}
+	c.regs = make([]*hdl.Reg, 0, banks*perBank)
+	for b := 0; b < banks; b++ {
+		for r := 0; r < perBank; r++ {
+			reg := hdl.NewReg(fmt.Sprintf("bank%03d.r%03d", b, r), RegWidth)
+			if b != 0 {
+				reg.Gate(true)
+			}
+			c.regs = append(c.regs, reg)
+		}
+	}
+	rng := uint64(0x243f6a8885a308d3)
+	for i := range c.vals {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		c.vals[i] = logic.FromUint64(RegWidth, rng)
+	}
+	return c
+}
+
+// Name implements hdl.Core.
+func (c *Core) Name() string { return "powerbench" }
+
+// Ports implements hdl.Core.
+func (c *Core) Ports() []hdl.PortSpec {
+	return []hdl.PortSpec{
+		{Name: "sel", Width: 16, Dir: hdl.In},
+		{Name: "busy", Width: RegWidth, Dir: hdl.Out},
+	}
+}
+
+// Reset implements hdl.Core: back to bank 0 powered, everything cleared.
+func (c *Core) Reset() {
+	for i, r := range c.regs {
+		r.Reset()
+		if i >= c.perBank {
+			r.Gate(true)
+		}
+	}
+	c.cur = 0
+	c.cycle = 0
+}
+
+// Step powers the selected bank (gating the previously active one when
+// the selection moves) and writes a rotating pattern into a rotating
+// window of its registers. Cost is O(writes), independent of the total
+// element count.
+func (c *Core) Step(in hdl.Values) hdl.Values {
+	sel := 0
+	if v, ok := in["sel"]; ok {
+		sel = int(v.Uint64() % uint64(c.banks))
+	}
+	if sel != c.cur {
+		for _, r := range c.bank(c.cur) {
+			r.Gate(true)
+		}
+		for _, r := range c.bank(sel) {
+			r.Gate(false)
+		}
+		c.cur = sel
+	}
+	active := c.bank(sel)
+	n := writes
+	if n > c.perBank {
+		n = c.perBank
+	}
+	for i := 0; i < n; i++ {
+		active[(c.cycle*writes+i)%c.perBank].Set(c.vals[(c.cycle+i)%patterns])
+	}
+	c.cycle++
+	return hdl.Values{"busy": c.vals[c.cycle%patterns]}
+}
+
+// Elements implements hdl.Core.
+func (c *Core) Elements() []*hdl.Reg { return c.regs }
+
+func (c *Core) bank(b int) []*hdl.Reg {
+	return c.regs[b*c.perBank : (b+1)*c.perBank]
+}
+
+// Stimulus returns the deterministic n-cycle input sequence of the
+// benchmark: a seeded xorshift walk over the banks, with enough dwell
+// time per selection that gating transitions do not dominate.
+func Stimulus(banks, n int, seed uint64) []hdl.Values {
+	rng := seed | 1
+	ins := make([]hdl.Values, n)
+	sel := logic.FromUint64(16, 0)
+	for t := 0; t < n; t++ {
+		if t%dwell == 0 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			sel = logic.FromUint64(16, rng%uint64(banks))
+		}
+		ins[t] = hdl.Values{"sel": sel}
+	}
+	return ins
+}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"psmkit/internal/check"
+	"psmkit/internal/logic"
 	"psmkit/internal/obs"
 	"psmkit/internal/powersim"
 	"psmkit/internal/stats"
@@ -51,6 +52,11 @@ type Config struct {
 	Stream stream.Config
 	// MaxLineBytes bounds one NDJSON line of an upload; ≤ 0 selects 1 MiB.
 	MaxLineBytes int
+	// IngestBatch is how many records the trace ingest path accumulates
+	// before handing them to Session.AppendBatch; ≤ 0 selects 256. Larger
+	// batches amortize the atom-signature reduction, smaller ones bound
+	// the memory a slow upload pins.
+	IngestBatch int
 	// CheckOptions parameterizes the model verifier gating GET /v1/model.
 	CheckOptions check.Options
 	// Sim parameterizes the estimation tracker.
@@ -117,6 +123,13 @@ type ingestResult struct {
 // context cancels with the connection, so a client disconnect surfaces as
 // a body read error and the session aborts — nothing partial reaches the
 // model.
+//
+// This is the hot ingest path: records are line-scanned zero-copy
+// (stream.Scanner), their valuations parsed into two alternating
+// logic.Arenas — the engine keeps each batch's last row as input-HD
+// history for one more batch, so the arena a batch used is recycled only
+// after the NEXT batch lands — and appended IngestBatch records at a
+// time (Session.AppendBatch).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -124,8 +137,8 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	_, span := obs.Start(r.Context(), "ingest")
 	defer span.End()
-	dec := stream.NewDecoder(r.Body, s.cfg.MaxLineBytes)
-	h, err := dec.ReadHeader()
+	sc := stream.NewScanner(r.Body, s.cfg.MaxLineBytes)
+	h, err := sc.ScanHeader()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -145,13 +158,33 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var rec stream.Record
+	batch := s.cfg.IngestBatch
+	if batch <= 0 {
+		batch = 256
+	}
+	var (
+		arenas [2]logic.Arena
+		epoch  int
+		raw    stream.RawRecord
+		rows   = make([][]logic.Vector, 0, batch)
+		powers = make([]float64, 0, batch)
+		rowMem = make([]logic.Vector, batch*len(sigs))
+	)
+	flush := func() error {
+		if len(rows) == 0 {
+			return nil
+		}
+		err := sess.AppendBatch(rows, powers)
+		rows, powers = rows[:0], powers[:0]
+		epoch++
+		return err
+	}
 	for {
 		if err := r.Context().Err(); err != nil {
 			sess.Abort()
 			return // connection is gone; no response reaches the client
 		}
-		err := dec.Next(&rec)
+		err := sc.ScanRecord(&raw)
 		if err == io.EOF {
 			break
 		}
@@ -160,23 +193,37 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if rec.P == nil {
+		if raw.P == nil {
 			sess.Abort()
-			http.Error(w, fmt.Sprintf("stream: record %d: training records need a power value \"p\"", sess.Rows()+1),
+			http.Error(w, fmt.Sprintf("stream: record %d: training records need a power value \"p\"", sess.Rows()+len(rows)+1),
 				http.StatusBadRequest)
 			return
 		}
-		row, err := stream.DecodeRow(sigs, &rec)
+		a := &arenas[epoch&1]
+		if len(rows) == 0 {
+			a.Reset()
+		}
+		k := len(rows) * len(sigs)
+		row, err := stream.DecodeRowArena(sigs, &raw, a, rowMem[k:k:k+len(sigs)])
 		if err != nil {
 			sess.Abort()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := sess.Append(row, *rec.P); err != nil {
-			sess.Abort()
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+		rows = append(rows, row)
+		powers = append(powers, *raw.P)
+		if len(rows) == batch {
+			if err := flush(); err != nil {
+				sess.Abort()
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
 		}
+	}
+	if err := flush(); err != nil {
+		sess.Abort()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 	n := sess.Rows()
 	idx, err := sess.Close()
@@ -287,8 +334,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	dec := stream.NewDecoder(r.Body, s.cfg.MaxLineBytes)
-	h, err := dec.ReadHeader()
+	sc := stream.NewScanner(r.Body, s.cfg.MaxLineBytes)
+	h, err := sc.ScanHeader()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -300,14 +347,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	sim := powersim.New(m, s.eng.InputCols(), s.cfg.Sim)
 	var (
-		rec       stream.Record
+		raw       stream.RawRecord
+		row       []logic.Vector
 		estimates []float64
 		refs      []float64
 		allRef    = true
 		total     float64
+		// The simulator keeps the previous row as its sync history, so
+		// each record's vectors must outlive one Step: alternate two
+		// arenas, recycling the one whose rows are two steps old.
+		arenas [2]logic.Arena
 	)
 	for {
-		err := dec.Next(&rec)
+		err := sc.ScanRecord(&raw)
 		if err == io.EOF {
 			break
 		}
@@ -315,7 +367,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		row, err := stream.DecodeRow(sigs, &rec)
+		a := &arenas[len(estimates)&1]
+		a.Reset()
+		row, err = stream.DecodeRowArena(sigs, &raw, a, row[:0])
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -323,8 +377,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		est := sim.Step(row)
 		estimates = append(estimates, est)
 		total += est
-		if rec.P != nil {
-			refs = append(refs, *rec.P)
+		if raw.P != nil {
+			refs = append(refs, *raw.P)
 		} else {
 			allRef = false
 		}

@@ -239,6 +239,7 @@ type Session struct {
 	data   *sessionData
 	prev   []logic.Vector
 	buf    []uint64
+	batch  []uint64 // AppendBatch signature scratch, reused
 	schema []trace.Signal
 	done   bool
 }
@@ -335,6 +336,80 @@ func (s *Session) Append(row []logic.Vector, power float64) error {
 
 	d.rows++
 	s.e.mRecords.Inc()
+	return nil
+}
+
+// AppendBatch consumes a batch of instants in one call, reducing their
+// atom signatures together (mining.Observer.ObserveBatch) and touching
+// the session's aggregates once instead of per record. The resulting
+// session state is byte-identical to appending the rows one by one —
+// pinned by TestAppendBatchMatchesSequential — but the batch is
+// validated up front and appended atomically: on error nothing is
+// appended.
+//
+// Row vectors are not retained beyond the NEXT AppendBatch/Append call:
+// the last row of the batch stays referenced as the input-HD history
+// until the following call replaces it. Arena-backed callers therefore
+// double-buffer two arenas (see serve.handleTraces).
+func (s *Session) AppendBatch(rows [][]logic.Vector, powers []float64) error {
+	if len(rows) != len(powers) {
+		return fmt.Errorf("stream: batch has %d rows, %d powers", len(rows), len(powers))
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if s.done {
+		return fmt.Errorf("stream: append to a closed session")
+	}
+	if max := s.e.cfg.MaxRecords; max > 0 && s.data.rows+len(rows) > max {
+		return fmt.Errorf("stream: session exceeds the %d-record limit", max)
+	}
+	for _, row := range rows {
+		if len(row) != len(s.schema) {
+			return fmt.Errorf("stream: row has %d values, schema %d signals", len(row), len(s.schema))
+		}
+		for i, v := range row {
+			if v.Width() != s.schema[i].Width {
+				return fmt.Errorf("stream: signal %q width %d, value width %d", s.schema[i].Name, s.schema[i].Width, v.Width())
+			}
+		}
+	}
+
+	words := mining.SigWords(s.obs.NumAtoms())
+	s.batch = s.obs.ObserveBatch(rows, s.batch)
+	d := s.data
+	for k := range rows {
+		sig := s.batch[k*words : (k+1)*words]
+		if n := len(d.runs); n > 0 && equalWords(d.runs[n-1].sig, sig) {
+			d.runs[n-1].n++
+		} else {
+			d.runs = append(d.runs, sigRun{sig: append([]uint64(nil), sig...), n: 1})
+		}
+	}
+	d.power = append(d.power, powers...)
+
+	for k, row := range rows {
+		prevRow := s.prev
+		if k > 0 {
+			prevRow = rows[k-1]
+		}
+		hd := 0.0
+		if prevRow != nil {
+			acc := 0
+			for _, c := range s.e.inputCols {
+				acc += row[c].HammingDistance(prevRow[c])
+			}
+			hd = float64(acc)
+		}
+		d.hd = append(d.hd, hd)
+	}
+	if s.prev == nil {
+		s.prev = make([]logic.Vector, len(s.schema))
+	}
+	copy(s.prev, rows[len(rows)-1])
+
+	d.rows += len(rows)
+	s.e.mRecords.Add(int64(len(rows)))
 	return nil
 }
 

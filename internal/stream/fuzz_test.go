@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzWireScan is the differential fuzz gate of the zero-copy ingest
+// path: for arbitrary byte streams, the Scanner (zero-copy line split +
+// strict fast-path record parse + json fallback) must decode exactly
+// what the historical bufio/encoding-json Decoder decodes — the same
+// header, the same record values and power bits, and the same error
+// text at the same point — and never panic. Both a small and the
+// default line bound are exercised so the bufio.ErrTooLong edge is
+// fuzzed too.
+//
+// The seed corpus under testdata/fuzz/FuzzWireScan covers the canonical
+// encoder output, every fallback trigger (escapes, field reorder,
+// unknown fields, bad numbers, null records) and the framing edges
+// (CRLF, blank lines, unterminated final line, over-long line).
+func FuzzWireScan(f *testing.F) {
+	seeds := []string{
+		parityHeader + "\n" + `{"v":["ff","deadbeefcafebabe"],"p":0.0125}` + "\n",
+		parityHeader + "\n" + `{"v":[],"p":-2.5e-3}` + "\n" + `{"v":["0f","1"]}`,
+		parityHeader + "\r\n\r\n" + `{"v":["ff","0"],"p":3}` + "\r\n",
+		parityHeader + "\n" + `{"p":1,"v":["ff","0"]}` + "\n",
+		parityHeader + "\n" + `{"v":["ff","0"],"p":1e999}` + "\n",
+		parityHeader + "\n" + `null` + "\n" + `{"v":["ff","0"],"p":01}` + "\n",
+		parityHeader + "\n" + `{"v":["` + strings.Repeat("f", 200) + `","0"],"p":1}` + "\n",
+		`{"signals":[]}` + "\n",
+		"not json\n",
+		"",
+		parityHeader + "\n" + ` { "v" : [ "ff" , "0" ] , "p" : 5E-7 } ` + "\n",
+		parityHeader + "\n" + `{"v":["ff","0"],"p":1,"x":{"y":[1,2]}}` + "\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, max := range []int{0, 64} {
+			if diff := sameDrain(drainDecoder(data, max), drainScanner(data, max)); diff != "" {
+				t.Fatalf("scanner/decoder divergence (max %d) on %q: %s", max, data, diff)
+			}
+		}
+	})
+}

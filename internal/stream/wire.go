@@ -22,6 +22,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"reflect"
+	"strconv"
 
 	"psmkit/internal/logic"
 	"psmkit/internal/trace"
@@ -160,7 +163,8 @@ func (d *Decoder) Next(rec *Record) error {
 
 // Encoder writes the NDJSON stream (cmd/tracegen -stream, tests).
 type Encoder struct {
-	w *bufio.Writer
+	w   *bufio.Writer
+	buf []byte
 }
 
 // NewEncoder wraps a writer; call Flush when done.
@@ -180,13 +184,57 @@ func (e *Encoder) writeJSON(v interface{}) error {
 // WriteHeader emits the header line.
 func (e *Encoder) WriteHeader(h Header) error { return e.writeJSON(h) }
 
-// WriteRow emits one record from a valuation row and its power.
+// WriteRow emits one record from a valuation row and its power. The
+// line is assembled in a reused buffer, byte-identical to marshalling a
+// Record (hex needs no escaping; appendJSONFloat is the encoding/json
+// float form) — pinned by TestWriteRowMatchesMarshal.
 func (e *Encoder) WriteRow(row []logic.Vector, power float64) error {
-	rec := Record{V: make([]string, len(row)), P: &power}
+	b := append(e.buf[:0], `{"v":[`...)
 	for i, v := range row {
-		rec.V[i] = v.Hex()
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = v.AppendHex(b)
+		b = append(b, '"')
 	}
-	return e.writeJSON(rec)
+	b = append(b, `],"p":`...)
+	b, err := appendJSONFloat(b, power)
+	if err != nil {
+		e.buf = b
+		return err
+	}
+	b = append(b, '}', '\n')
+	e.buf = b
+	_, werr := e.w.Write(b)
+	return werr
+}
+
+// appendJSONFloat appends a float64 exactly as encoding/json renders it:
+// shortest representation, 'f' form except for very small or very large
+// magnitudes, with the exponent's leading zero stripped. Non-finite
+// values are rejected like json.Marshal rejects them.
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return b, &json.UnsupportedValueError{
+			Value: reflect.ValueOf(f),
+			Str:   strconv.FormatFloat(f, 'g', -1, 64),
+		}
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
 }
 
 // Flush drains the buffered writer.

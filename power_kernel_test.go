@@ -1,0 +1,116 @@
+package psmkit
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"psmkit/internal/hdl"
+	"psmkit/internal/power"
+	"psmkit/internal/powerbench"
+)
+
+// powerKernel is the surface shared by the columnar Estimator and the
+// scalar ReferenceEstimator.
+type powerKernel interface {
+	CyclePower(in, out hdl.Values) float64
+}
+
+// powerArm replays the deterministic powerbench stimulus through one
+// kernel on a fresh core, returning the replay wall time and the cycle
+// trace. Only the Step+CyclePower loop is timed; core construction,
+// estimator elaboration and stimulus synthesis are outside.
+func powerArm(mk func(hdl.Core) powerKernel, banks, perBank, n int) (time.Duration, []float64) {
+	core := powerbench.New(banks, perBank)
+	est := mk(core)
+	ins := powerbench.Stimulus(banks, n, 0x9e3779b9)
+	trace := make([]float64, n)
+	start := time.Now()
+	for t, in := range ins {
+		trace[t] = est.CyclePower(in, core.Step(in))
+	}
+	return time.Since(start), trace
+}
+
+func columnarArm(c hdl.Core) powerKernel { return power.NewEstimator(c, power.DefaultConfig()) }
+func referenceArm(c hdl.Core) powerKernel {
+	return power.NewReferenceEstimator(c, power.DefaultConfig())
+}
+
+func sameTrace(a, b []float64) int {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// BenchmarkPowerKernel reports the columnar kernel's per-op time on the
+// 4096-element banked file, with the scalar walk's wall time and the
+// resulting speedup as metrics.
+func BenchmarkPowerKernel(b *testing.B) {
+	const banks, perBank, n = 64, 64, 2000
+	refTime, refTrace := powerArm(referenceArm, banks, perBank, n)
+
+	var colTime time.Duration
+	var colTrace []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		colTime, colTrace = powerArm(columnarArm, banks, perBank, n)
+	}
+	if cyc := sameTrace(refTrace, colTrace); cyc >= 0 {
+		b.Fatalf("kernels diverge at cycle %d", cyc)
+	}
+	b.ReportMetric(float64(refTime)/float64(colTime), "speedup_x")
+	b.ReportMetric(float64(colTime.Nanoseconds())/float64(n), "ns_per_cycle")
+}
+
+// TestPowerKernelGate is the `make bench-power` regression gate for the
+// columnar power kernel, on the 64x64 banked register file (4096
+// elements, one bank powered per cycle):
+//
+//   - the columnar Estimator must be >=5x faster than the scalar
+//     ReferenceEstimator walk (min over interleaved rounds);
+//   - both kernels must produce bit-identical cycle traces (the
+//     in-package differential suite additionally pins group traces on
+//     the benchmark IPs).
+//
+// Wall-clock gates are noisy, so the test only runs under BENCH_POWER=1
+// (CI: `make bench-power`).
+func TestPowerKernelGate(t *testing.T) {
+	if os.Getenv("BENCH_POWER") == "" {
+		t.Skip("set BENCH_POWER=1 (or run `make bench-power`) to run the power kernel gate")
+	}
+	const banks, perBank, n = 64, 64, 3000
+
+	powerArm(referenceArm, banks, perBank, n) // warm both arms before timing
+	powerArm(columnarArm, banks, perBank, n)
+	const rounds = 3
+	minRef, minCol := time.Duration(1<<62), time.Duration(1<<62)
+	var refTrace, colTrace []float64
+	for i := 0; i < rounds; i++ {
+		var d time.Duration
+		if d, refTrace = powerArm(referenceArm, banks, perBank, n); d < minRef {
+			minRef = d
+		}
+		if d, colTrace = powerArm(columnarArm, banks, perBank, n); d < minCol {
+			minCol = d
+		}
+	}
+
+	if cyc := sameTrace(refTrace, colTrace); cyc >= 0 {
+		t.Fatalf("kernels diverge at cycle %d: %v vs %v", cyc, refTrace[cyc], colTrace[cyc])
+	}
+	speedup := float64(minRef) / float64(minCol)
+	t.Logf("reference %v, columnar %v over %d cycles x %d elements, speedup %.1fx",
+		minRef, minCol, n, banks*perBank, speedup)
+	if speedup < 5 {
+		t.Fatalf("columnar speedup %.1fx over the scalar walk (min over %d rounds: %v vs %v); gate is 5x",
+			speedup, rounds, minCol, minRef)
+	}
+}

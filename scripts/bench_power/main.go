@@ -1,0 +1,130 @@
+// Command bench_power sweeps the power-kernel scaling comparison and
+// writes BENCH_power.json: for each banked-register-file size, the
+// min-of-N replay wall clock of the scalar ReferenceEstimator walk
+// versus the columnar word-scan Estimator on the same deterministic
+// stimulus, with the traces pinned bit-identical. The sweep backs the
+// committed BENCH_power.json and the numbers quoted in the README's
+// Performance section; `make bench-power` runs the pass/fail gate
+// (TestPowerKernelGate) and then refreshes the file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"psmkit/internal/hdl"
+	"psmkit/internal/power"
+	"psmkit/internal/powerbench"
+)
+
+// point is one sweep row of the emitted JSON.
+type point struct {
+	Banks           int     `json:"banks"`
+	PerBank         int     `json:"per_bank"`
+	Elements        int     `json:"elements"`
+	Cycles          int     `json:"cycles"`
+	ScalarNsPerCyc  float64 `json:"scalar_ns_per_cycle"`
+	ColumnarNsPerCy float64 `json:"columnar_ns_per_cycle"`
+	SpeedupX        float64 `json:"speedup_x"`
+}
+
+type report struct {
+	Description string  `json:"description"`
+	Rounds      int     `json:"rounds"`
+	Points      []point `json:"points"`
+}
+
+type kernel interface {
+	CyclePower(in, out hdl.Values) float64
+}
+
+// arm replays the stimulus through one kernel on a fresh core; only the
+// Step+CyclePower loop is timed.
+func arm(columnar bool, banks, perBank, n int) (time.Duration, []float64) {
+	core := powerbench.New(banks, perBank)
+	var est kernel
+	if columnar {
+		est = power.NewEstimator(core, power.DefaultConfig())
+	} else {
+		est = power.NewReferenceEstimator(core, power.DefaultConfig())
+	}
+	ins := powerbench.Stimulus(banks, n, 0x9e3779b9)
+	trace := make([]float64, n)
+	start := time.Now()
+	for t, in := range ins {
+		trace[t] = est.CyclePower(in, core.Step(in))
+	}
+	return time.Since(start), trace
+}
+
+func main() {
+	out := flag.String("o", "BENCH_power.json", "output file")
+	rounds := flag.Int("rounds", 3, "interleaved timing rounds (min is reported)")
+	cycles := flag.Int("cycles", 3000, "replay length per arm")
+	flag.Parse()
+
+	rep := report{
+		Description: "scalar ReferenceEstimator walk vs columnar word-scan Estimator on the " +
+			"internal/powerbench banked register file (one bank powered per cycle, rest " +
+			"clock-gated); min replay wall clock over interleaved rounds, traces pinned " +
+			"bit-identical",
+		Rounds: *rounds,
+	}
+	for _, sz := range []struct{ banks, perBank int }{
+		{16, 64}, {32, 64}, {64, 64}, {128, 64},
+	} {
+		arm(false, sz.banks, sz.perBank, *cycles) // warm both arms
+		arm(true, sz.banks, sz.perBank, *cycles)
+		minRef, minCol := time.Duration(1<<62), time.Duration(1<<62)
+		var refTrace, colTrace []float64
+		for i := 0; i < *rounds; i++ {
+			var d time.Duration
+			if d, refTrace = arm(false, sz.banks, sz.perBank, *cycles); d < minRef {
+				minRef = d
+			}
+			if d, colTrace = arm(true, sz.banks, sz.perBank, *cycles); d < minCol {
+				minCol = d
+			}
+		}
+		for t := range refTrace {
+			if math.Float64bits(refTrace[t]) != math.Float64bits(colTrace[t]) {
+				fmt.Fprintf(os.Stderr, "bench_power: kernels diverge at %dx%d cycle %d\n",
+					sz.banks, sz.perBank, t)
+				os.Exit(1)
+			}
+		}
+		p := point{
+			Banks:           sz.banks,
+			PerBank:         sz.perBank,
+			Elements:        sz.banks * sz.perBank,
+			Cycles:          *cycles,
+			ScalarNsPerCyc:  float64(minRef.Nanoseconds()) / float64(*cycles),
+			ColumnarNsPerCy: float64(minCol.Nanoseconds()) / float64(*cycles),
+			SpeedupX:        float64(minRef) / float64(minCol),
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Printf("elements=%-6d scalar=%-12v columnar=%-12v speedup=%.1fx\n",
+			p.Elements, minRef, minCol, p.SpeedupX)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_power:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bench_power:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench_power:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

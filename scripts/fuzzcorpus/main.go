@@ -1,0 +1,58 @@
+// Command fuzzcorpus (re)generates the committed seed corpus of
+// FuzzWireScan under internal/stream/testdata/fuzz/FuzzWireScan, in the
+// native Go fuzzing corpus-file format. Run from the repo root:
+//
+//	go run ./scripts/fuzzcorpus
+//
+// The seeds mirror the f.Add set: canonical encoder output, every
+// fallback trigger and the framing edges, so `go test ./internal/stream`
+// replays them even without -fuzz.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const header = `{"signals":[{"name":"a","width":8},{"name":"b","width":64}],"inputs":["a"]}`
+
+func main() {
+	seeds := map[string]string{
+		"canonical":       header + "\n" + `{"v":["ff","deadbeefcafebabe"],"p":0.0125}` + "\n",
+		"empty_and_nop":   header + "\n" + `{"v":[],"p":-2.5e-3}` + "\n" + `{"v":["0f","1"]}`,
+		"crlf":            header + "\r\n\r\n" + `{"v":["ff","0"],"p":3}` + "\r\n",
+		"field_reorder":   header + "\n" + `{"p":1,"v":["ff","0"]}` + "\n",
+		"overflow_number": header + "\n" + `{"v":["ff","0"],"p":1e999}` + "\n",
+		"null_then_bad":   header + "\n" + `null` + "\n" + `{"v":["ff","0"],"p":01}` + "\n",
+		"long_line":       header + "\n" + `{"v":["` + strings.Repeat("f", 200) + `","0"],"p":1}` + "\n",
+		"empty_schema":    `{"signals":[]}` + "\n",
+		"bad_header":      "not json\n",
+		"empty_stream":    "",
+		"spaced":          header + "\n" + ` { "v" : [ "ff" , "0" ] , "p" : 5E-7 } ` + "\n",
+		"unknown_field":   header + "\n" + `{"v":["ff","0"],"p":1,"x":{"y":[1,2]}}` + "\n",
+		"escaped_hex":     header + "\n" + `{"v":["\u0066f","0"],"p":1}` + "\n",
+		"unicode_value":   header + "\n" + `{"v":["ü","0"],"p":1}` + "\n",
+		"nan_like":        header + "\n" + `{"v":["ff","0"],"p":NaN}` + "\n",
+	}
+	dir := filepath.Join("internal", "stream", "testdata", "fuzz", "FuzzWireScan")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(seeds))
+	for name := range seeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(seeds[name]) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, "seed_"+name), []byte(body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
