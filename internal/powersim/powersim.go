@@ -138,6 +138,12 @@ func (s *Simulator) CurrentState() int { return s.cur }
 
 // Step consumes one instant's PI/PO valuation and returns the power
 // estimate for that instant.
+//
+// The row's vectors must stay valid until the next Step call and are
+// not retained past it (the previous row is the tracker's input-HD
+// history, refreshed every step): arena-backed callers may alternate
+// two arenas, recycling the one whose row is two steps old, exactly
+// like Session.AppendBatch's contract.
 func (s *Simulator) Step(row []logic.Vector) float64 {
 	s.res.Instants++
 	if s.dict == nil || len(s.model.States) == 0 {
@@ -152,6 +158,11 @@ func (s *Simulator) Step(row []logic.Vector) float64 {
 	if s.hasPrev && rowsEqual(s.prevRow, row) {
 		// Fast path: the PI/PO valuation did not change (long stable
 		// phases, cipher busy cycles) — same proposition, zero input HD.
+		// The history must still be refreshed: callers only guarantee a
+		// row's vectors outlive one Step, so holding on to an older
+		// equal row would let prevRow alias storage the caller has
+		// since recycled.
+		s.prevRow = append(s.prevRow[:0], row...)
 		prop = s.prevProp
 		s.hd = 0
 	} else {

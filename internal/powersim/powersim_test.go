@@ -385,6 +385,48 @@ func TestRowFastPathMatchesSlowPath(t *testing.T) {
 	}
 }
 
+// TestStepWithRotatingArenasMatchesFreshRows pins the contract a row's
+// vectors only need to outlive one Step. It replays the serving loop's
+// exact memory discipline — two logic.Arenas, the older one Reset and
+// reparsed into each record — against a twin simulator fed freshly
+// allocated rows. The trace opens with a stable phase, the case where a
+// stale prevRow would alias the recycled arena (the fast path would then
+// compare the incoming row against its own storage, sticking to the old
+// proposition with hd=0 even after the valuation changes).
+func TestStepWithRotatingArenasMatchesFreshRows(t *testing.T) {
+	fx := build(t, trainingSegments())
+	a := New(fx.model, fx.cols, DefaultConfig())
+	b := New(fx.model, fx.cols, DefaultConfig())
+	var (
+		arenas [2]logic.Arena
+		row    []logic.Vector
+		hex    []byte
+	)
+	for i := 0; i < fx.ft.Len(); i++ {
+		fresh := fx.ft.Row(i)
+		ar := &arenas[i&1]
+		ar.Reset()
+		row = row[:0]
+		for _, v := range fresh {
+			hex = v.AppendHex(hex[:0])
+			pv, err := ar.ParseHex(v.Width(), hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row = append(row, pv)
+		}
+		ea := a.Step(row)
+		eb := b.Step(append([]logic.Vector(nil), fresh...))
+		if ea != eb {
+			t.Fatalf("instant %d: arena-fed estimate %g, fresh-row estimate %g", i, ea, eb)
+		}
+	}
+	ra, rb := a.Result(), b.Result()
+	if ra.WrongPredictions != rb.WrongPredictions || ra.UnsyncedInstants != rb.UnsyncedInstants {
+		t.Fatalf("result divergence: arena %+v vs fresh %+v", ra, rb)
+	}
+}
+
 // TestEmptyModelDegradesGracefully: simulating against a model with no
 // states (or no dictionary) must not panic — every instant is unsynced
 // and the estimate falls back to the model-wide mean, 0 for an empty

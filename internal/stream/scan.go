@@ -36,6 +36,7 @@ type Scanner struct {
 	lines      int
 	eof        bool
 	err        error // sticky read error (not EOF)
+	empties    int   // consecutive 0-byte nil-error reads
 
 	slow Record // fallback decode target, reused
 }
@@ -116,8 +117,24 @@ func (s *Scanner) fill() {
 		if err != io.EOF {
 			s.err = err
 		}
+		return
+	}
+	if n > 0 {
+		s.empties = 0
+		return
+	}
+	// A reader that keeps returning (0, nil) would spin Line forever;
+	// give up after the same bound bufio.Scanner uses.
+	s.empties++
+	if s.empties >= maxConsecutiveEmptyReads {
+		s.eof = true
+		s.err = io.ErrNoProgress
 	}
 }
+
+// maxConsecutiveEmptyReads matches bufio.Scanner's tolerance for readers
+// that return (0, nil) before the scan aborts with io.ErrNoProgress.
+const maxConsecutiveEmptyReads = 100
 
 func dropCR(line []byte) []byte {
 	if n := len(line); n > 0 && line[n-1] == '\r' {

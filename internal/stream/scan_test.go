@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -242,6 +243,44 @@ func TestScannerMidStreamReadError(t *testing.T) {
 	}
 	if decErr == nil || scErr == nil || decErr.Error() != scErr.Error() {
 		t.Fatalf("errors differ: %v vs %v", decErr, scErr)
+	}
+}
+
+// stallingReader yields its payload, then returns (0, nil) forever — a
+// misbehaving reader that makes no progress without signalling an error.
+type stallingReader struct {
+	data []byte
+	off  int
+}
+
+func (s *stallingReader) Read(p []byte) (int, error) {
+	if s.off >= len(s.data) {
+		return 0, nil
+	}
+	n := copy(p, s.data[s.off:])
+	s.off += n
+	return n, nil
+}
+
+func TestScannerNoProgressReader(t *testing.T) {
+	// Buffered lines must still be delivered before the scan aborts with
+	// io.ErrNoProgress, matching bufio.Scanner's empty-read tolerance.
+	payload := []byte(parityHeader + "\n" + `{"v":["ff","0"],"p":1}` + "\n")
+	sc := NewScanner(&stallingReader{data: payload}, 0)
+	if _, err := sc.ScanHeader(); err != nil {
+		t.Fatal(err)
+	}
+	var raw RawRecord
+	if err := sc.ScanRecord(&raw); err != nil {
+		t.Fatal(err)
+	}
+	err := sc.ScanRecord(&raw)
+	if !errors.Is(err, io.ErrNoProgress) {
+		t.Fatalf("stalled reader: got %v, want io.ErrNoProgress", err)
+	}
+	// The error is sticky.
+	if err := sc.ScanRecord(&raw); !errors.Is(err, io.ErrNoProgress) {
+		t.Fatalf("second scan after stall: got %v, want io.ErrNoProgress", err)
 	}
 }
 
