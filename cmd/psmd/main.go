@@ -15,18 +15,22 @@
 //
 //	tracegen -ip RAM -n 20000 -stream | curl -s -X POST --data-binary @- localhost:8080/v1/traces
 //	curl -s localhost:8080/v1/model?format=dot
-//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/v1/status
+//	curl -s localhost:8080/debug/flight
 //
 // Endpoints: POST /v1/traces, GET /v1/model, GET /v1/provenance,
-// POST /v1/estimate, GET /metrics, GET /debug/pprof. SIGINT/SIGTERM shut
-// the daemon down gracefully, draining in-flight uploads before exiting.
+// POST /v1/estimate, GET /v1/status, GET /metrics, GET /debug/flight,
+// GET /debug/pprof. SIGINT/SIGTERM shut the daemon down gracefully,
+// draining in-flight uploads before exiting. SIGQUIT dumps the flight
+// recorder — the ring of most recent span and log events — to stderr
+// without stopping the daemon; a crash path dumps it too, so the last
+// moments before a failure are always recoverable.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
@@ -59,7 +63,22 @@ func main() {
 	joinMemo := flag.Int("join-memo", 0, "merge-verdict memo entry bound for the incremental join (0 = package default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	tracePath := flag.String("trace", "", "write NDJSON span events (ingest, snapshot, join) to this file; prints the span summary at shutdown")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
+	flightEntries := flag.Int("flight-entries", obs.DefaultFlightEntries, "flight recorder ring size (most recent span/log events kept)")
+	sloIngestP99 := flag.Float64("slo-ingest-p99", 0, "ingest-latency p99 objective in ms for /v1/status burn (0 = disabled)")
+	sloErrorRate := flag.Float64("slo-error-rate", 0, "5xx error-rate objective (fraction of /v1/ requests) for /v1/status burn (0 = disabled)")
 	flag.Parse()
+
+	// ParseLevel falls back to info on error, so the logger is usable
+	// even to report its own misconfiguration.
+	lvl, lvlErr := obs.ParseLevel(*logLevel)
+	flight := obs.NewFlight(*flightEntries)
+	logger := obs.NewLogger(os.Stderr, lvl)
+	logger.SetFlight(flight)
+	if lvlErr != nil {
+		logger.Error("psmd failed", obs.KV("err", lvlErr.Error()))
+		os.Exit(2)
+	}
 
 	cfg := serve.DefaultConfig()
 	cfg.Stream.Workers = *jobs
@@ -71,6 +90,9 @@ func main() {
 	cfg.Stream.JoinMemoEntries = *joinMemo
 	cfg.MaxLineBytes = *maxLine
 	cfg.IngestBatch = *ingestBatch
+	cfg.Flight = flight
+	cfg.Log = logger
+	cfg.SLO = serve.SLOConfig{IngestP99Ms: *sloIngestP99, ErrorRate: *sloErrorRate}
 	if *inputs != "" {
 		cfg.Stream.Inputs = strings.Split(*inputs, ",")
 	}
@@ -79,16 +101,28 @@ func main() {
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "psmd:", err)
+			logger.Error("psmd failed", obs.KV("err", err.Error()))
 			os.Exit(1)
 		}
 		traceFile = f
 		cfg.Tracer = obs.NewTracer(f)
 	}
 
+	// SIGQUIT dumps the flight recorder without stopping the daemon —
+	// the live equivalent of a goroutine dump for the mining path.
+	qc := make(chan os.Signal, 1)
+	signal.Notify(qc, syscall.SIGQUIT)
+	go func() {
+		for range qc {
+			logger.Info("flight dump (SIGQUIT)", obs.KV("entries", flight.Recorded()))
+			//psmlint:ignore err-drop diagnostics dump; a stderr write error has nowhere to go
+			flight.WriteNDJSON(os.Stderr)
+		}
+	}()
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	err := run(ctx, *addr, cfg, *drain, os.Stderr)
+	err := run(ctx, *addr, cfg, *drain, logger)
 	if traceFile != nil {
 		if serr := cfg.Tracer.WriteSummary(os.Stderr); serr != nil && err == nil {
 			err = serr
@@ -98,26 +132,30 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "psmd:", err)
+		// Crash path: the error plus the flight recorder's recent
+		// history — the last spans and events before the failure.
+		logger.Error("psmd failed", obs.KV("err", err.Error()))
+		//psmlint:ignore err-drop diagnostics dump on the way down; nothing to do about a write error
+		flight.WriteNDJSON(os.Stderr)
 		os.Exit(1)
 	}
 }
 
 // run binds the address and serves until ctx is cancelled.
-func run(ctx context.Context, addr string, cfg serve.Config, drain time.Duration, logw io.Writer) error {
+func run(ctx context.Context, addr string, cfg serve.Config, drain time.Duration, log *obs.Logger) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	return serveOn(ctx, ln, serve.New(cfg), drain, logw)
+	return serveOn(ctx, ln, serve.New(cfg), drain, log)
 }
 
 // serveOn serves on an existing listener until ctx is cancelled, then
 // drains in-flight uploads for up to drain before returning. Split from
 // run so the smoke test can drive the daemon on an ephemeral port.
-func serveOn(ctx context.Context, ln net.Listener, srv *serve.Server, drain time.Duration, logw io.Writer) error {
+func serveOn(ctx context.Context, ln net.Listener, srv *serve.Server, drain time.Duration, log *obs.Logger) error {
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(logw, "psmd: serving on %s\n", ln.Addr())
+	log.Info("serving", obs.KV("addr", ln.Addr().String()))
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -127,13 +165,13 @@ func serveOn(ctx context.Context, ln net.Listener, srv *serve.Server, drain time
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintf(logw, "psmd: shutting down (draining up to %v)\n", drain)
+	log.Info("shutting down", obs.KV("drain", drain.String()))
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	m := srv.Engine().Metrics()
-	fmt.Fprintf(logw, "psmd: done (%d records over %d traces ingested)\n", m.RecordsIngested, m.TracesCompleted)
+	log.Info("done", obs.KV("records", m.RecordsIngested), obs.KV("traces", m.TracesCompleted))
 	return nil
 }

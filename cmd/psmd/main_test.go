@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"psmkit/internal/logic"
+	"psmkit/internal/obs"
 	"psmkit/internal/serve"
 	"psmkit/internal/stream"
 	"psmkit/internal/trace"
@@ -57,7 +58,9 @@ func TestSmoke(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var logbuf bytes.Buffer
 	done := make(chan error, 1)
-	go func() { done <- serveOn(ctx, ln, serve.New(cfg), 10*time.Second, &logbuf) }()
+	go func() {
+		done <- serveOn(ctx, ln, serve.New(cfg), 10*time.Second, obs.NewLogger(&logbuf, obs.LevelDebug))
+	}()
 
 	const n = 150
 	resp, err := http.Post(base+"/v1/traces", "application/x-ndjson", smokeTrace(1, n))
@@ -103,6 +106,47 @@ func TestSmoke(t *testing.T) {
 			mdoc.PSMD.RecordsIngested, mdoc.PSMD.TracesCompleted, n)
 	}
 
+	resp, err = http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: status %d: %s", resp.StatusCode, body)
+	}
+	var sdoc struct {
+		Ready          bool `json:"ready"`
+		ModelAvailable bool `json:"model_available"`
+		Ingest         struct {
+			Count int64   `json:"count"`
+			P99Ms float64 `json:"p99_ms"`
+		} `json:"ingest"`
+		Flight struct {
+			Recorded uint64 `json:"recorded"`
+		} `json:"flight"`
+	}
+	if err := json.Unmarshal(body, &sdoc); err != nil {
+		t.Fatalf("status: %v\n%s", err, body)
+	}
+	if !sdoc.Ready || !sdoc.ModelAvailable || sdoc.Ingest.Count == 0 || sdoc.Flight.Recorded == 0 {
+		t.Fatalf("status not healthy after traffic: %s", body)
+	}
+
+	resp, err = http.Get(base + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("flight: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	entries, err := obs.ReadFlight(bytes.NewReader(body))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("flight dump unparseable (%v) or empty: %.120s", err, body)
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -126,7 +170,7 @@ func TestRunBindError(t *testing.T) {
 	defer ln.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	err = run(ctx, ln.Addr().String(), serve.DefaultConfig(), time.Second, io.Discard)
+	err = run(ctx, ln.Addr().String(), serve.DefaultConfig(), time.Second, nil)
 	if err == nil {
 		t.Fatal("binding a busy port must fail")
 	}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"psmkit/internal/obs"
+)
+
+// runFlight is the `psmreport flight` subcommand: aggregate a
+// flight-recorder dump (GET /debug/flight, or psmd's SIGQUIT/crash
+// output) into a per-stage self-time tree. Sibling spans with the same
+// name fold into one node; each node reports its span count, summed
+// total time, and self time (total minus the children's totals — where
+// the time actually went, flame-graph style). Children sort by name at
+// every level, so two dumps of the same workload produce the same tree
+// no matter how many workers interleaved the spans.
+func runFlight(argv []string) error {
+	fs := flag.NewFlagSet("psmreport flight", flag.ExitOnError)
+	top := fs.Int("top", 0, "print at most this many children per node (0 = all)")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	in := io.Reader(os.Stdin)
+	if fs.NArg() > 1 {
+		return fmt.Errorf("flight: at most one dump file (got %d)", fs.NArg())
+	}
+	if fs.NArg() == 1 && fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	entries, err := obs.ReadFlight(in)
+	if err != nil {
+		return err
+	}
+	return writeFlightReport(os.Stdout, entries, *top)
+}
+
+// flightNode is one name-path group of spans in the self-time tree.
+type flightNode struct {
+	name     string
+	count    int
+	totalNS  int64
+	children []*flightNode
+}
+
+func (n *flightNode) selfNS() int64 {
+	self := n.totalNS
+	for _, c := range n.children {
+		self -= c.totalNS
+	}
+	// Concurrent children under one parent can sum past the parent's
+	// wall clock; clamp rather than report negative self time.
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+// buildFlightTree folds a dump's spans into a name-path tree. Spans
+// whose parent is absent from the dump (evicted by wraparound, or
+// top-level) root the tree. Children are name-sorted at every level —
+// the ordering is a function of the span names alone, never of the
+// interleaving worker IDs or dump order.
+func buildFlightTree(entries []obs.FlightEntry) *flightNode {
+	byID := make(map[int64]bool)
+	for _, e := range entries {
+		if e.Kind == "span" {
+			byID[e.ID] = true
+		}
+	}
+	kids := make(map[int64][]int)
+	var roots []int
+	for i, e := range entries {
+		if e.Kind != "span" {
+			continue
+		}
+		if e.Parent != 0 && byID[e.Parent] {
+			kids[e.Parent] = append(kids[e.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	var build func(name string, group []int) *flightNode
+	build = func(name string, group []int) *flightNode {
+		n := &flightNode{name: name, count: len(group)}
+		var sub []int
+		for _, i := range group {
+			n.totalNS += entries[i].DurNS
+			sub = append(sub, kids[entries[i].ID]...)
+		}
+		n.children = groupFlight(entries, sub, build)
+		return n
+	}
+	root := &flightNode{name: "flight"}
+	root.children = groupFlight(entries, roots, build)
+	for _, c := range root.children {
+		root.count += c.count
+		root.totalNS += c.totalNS
+	}
+	return root
+}
+
+// groupFlight folds sibling spans by name, sorted by name.
+func groupFlight(entries []obs.FlightEntry, idx []int, build func(string, []int) *flightNode) []*flightNode {
+	groups := make(map[string][]int)
+	for _, i := range idx {
+		groups[entries[i].Name] = append(groups[entries[i].Name], i)
+	}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*flightNode, 0, len(names))
+	for _, name := range names {
+		out = append(out, build(name, groups[name]))
+	}
+	return out
+}
+
+// writeFlightReport renders the aggregated self-time tree.
+func writeFlightReport(w io.Writer, entries []obs.FlightEntry, top int) error {
+	spans, logs := 0, 0
+	var minSeq uint64
+	for _, e := range entries {
+		if e.Kind == "span" {
+			spans++
+		} else {
+			logs++
+		}
+		if minSeq == 0 || e.Seq < minSeq {
+			minSeq = e.Seq
+		}
+	}
+	dropped := uint64(0)
+	if minSeq > 1 {
+		dropped = minSeq - 1
+	}
+	if _, err := fmt.Fprintf(w, "flight: %d entries (%d spans, %d logs), %d dropped to wraparound\n",
+		len(entries), spans, logs, dropped); err != nil {
+		return err
+	}
+	if spans == 0 {
+		_, err := fmt.Fprintln(w, "no spans to aggregate")
+		return err
+	}
+	root := buildFlightTree(entries)
+	if _, err := fmt.Fprintf(w, "self-time tree (total %v)\n",
+		time.Duration(root.totalNS).Round(time.Microsecond)); err != nil {
+		return err
+	}
+	total := root.totalNS
+	var walk func(n *flightNode, depth int) error
+	walk = func(n *flightNode, depth int) error {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(n.selfNS()) / float64(total)
+		}
+		pad := 24 - 2*depth
+		if pad < 0 {
+			pad = 0
+		}
+		if _, err := fmt.Fprintf(w, "  %*s%-*s %12v %12v %6.1f%%  x%d\n",
+			2*depth, "", pad, n.name,
+			time.Duration(n.totalNS).Round(time.Microsecond),
+			time.Duration(n.selfNS()).Round(time.Microsecond),
+			pct, n.count); err != nil {
+			return err
+		}
+		children := n.children
+		elided := 0
+		if top > 0 && len(children) > top {
+			elided = len(children) - top
+			children = children[:top]
+		}
+		for _, c := range children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		if elided > 0 {
+			if _, err := fmt.Fprintf(w, "  %*s(%d more)\n", 2*(depth+1), "", elided); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, c := range root.children {
+		if err := walk(c, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"psmkit/internal/obs"
+)
+
+// span builds one span entry without going through a live tracer.
+func span(seq uint64, id, parent int64, name string, durNS int64) obs.FlightEntry {
+	return obs.FlightEntry{Seq: seq, TimeNS: int64(seq), Kind: "span", Name: name, ID: id, Parent: parent, DurNS: durNS}
+}
+
+// TestFlightReportWorkerCountIndependent pins the acceptance property:
+// the same logical workload — identical span names and durations —
+// aggregates to a byte-identical report regardless of how many workers
+// produced it (span IDs, parent IDs, and dump order all differ).
+func TestFlightReportWorkerCountIndependent(t *testing.T) {
+	// One worker: sequential IDs, ingest spans then a snapshot.
+	oneWorker := []obs.FlightEntry{
+		span(1, 1, 0, "ingest", 1000),
+		span(2, 2, 1, "reduce", 400),
+		span(3, 3, 0, "ingest", 1000),
+		span(4, 4, 3, "reduce", 400),
+		span(5, 5, 0, "snapshot", 2000),
+		span(6, 6, 5, "join", 1500),
+	}
+	// Four workers: shuffled IDs and end order, same names/durations.
+	fourWorkers := []obs.FlightEntry{
+		span(1, 40, 17, "join", 1500),
+		span(2, 99, 0, "ingest", 1000),
+		span(3, 7, 99, "reduce", 400),
+		span(4, 17, 0, "snapshot", 2000),
+		span(5, 55, 0, "ingest", 1000),
+		span(6, 91, 55, "reduce", 400),
+	}
+	var a, b bytes.Buffer
+	if err := writeFlightReport(&a, oneWorker, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFlightReport(&b, fourWorkers, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("reports differ across worker counts:\n--- 1 worker ---\n%s--- 4 workers ---\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	if !strings.Contains(out, "6 spans") {
+		t.Fatalf("report header wrong: %s", out)
+	}
+	// ingest (x2) sorts before snapshot; reduce nests under ingest.
+	iIngest := strings.Index(out, "ingest")
+	iSnapshot := strings.Index(out, "snapshot")
+	iReduce := strings.Index(out, "reduce")
+	if iIngest < 0 || iSnapshot < 0 || iReduce < 0 || iIngest > iReduce || iReduce > iSnapshot {
+		t.Fatalf("unexpected tree ordering:\n%s", out)
+	}
+}
+
+// TestFlightReportSelfTime checks the self-time arithmetic: a parent's
+// self time is its total minus its children's totals, clamped at zero.
+func TestFlightReportSelfTime(t *testing.T) {
+	entries := []obs.FlightEntry{
+		span(1, 1, 0, "snapshot", 2000),
+		span(2, 2, 1, "join", 1500),
+	}
+	root := buildFlightTree(entries)
+	snap := root.children[0]
+	if snap.name != "snapshot" || snap.totalNS != 2000 || snap.selfNS() != 500 {
+		t.Fatalf("snapshot node = %q total %d self %d, want snapshot/2000/500", snap.name, snap.totalNS, snap.selfNS())
+	}
+	join := snap.children[0]
+	if join.name != "join" || join.selfNS() != 1500 {
+		t.Fatalf("join node = %q self %d, want join/1500", join.name, join.selfNS())
+	}
+	// Concurrent children summing past the parent clamp to zero.
+	over := []obs.FlightEntry{
+		span(1, 1, 0, "parent", 100),
+		span(2, 2, 1, "child", 80),
+		span(3, 3, 1, "child", 80),
+	}
+	if self := buildFlightTree(over).children[0].selfNS(); self != 0 {
+		t.Fatalf("over-subscribed parent self = %d, want 0 (clamped)", self)
+	}
+}
+
+// TestFlightReportOrphansAndDropped: spans whose parent was evicted by
+// wraparound root the tree, and the header reports the dropped count
+// from the lowest surviving sequence number.
+func TestFlightReportOrphansAndDropped(t *testing.T) {
+	entries := []obs.FlightEntry{
+		span(41, 9, 3, "reduce", 400), // parent id 3 evicted
+		{Seq: 42, TimeNS: 42, Kind: "log", Name: "tick", Level: "info"},
+	}
+	var buf bytes.Buffer
+	if err := writeFlightReport(&buf, entries, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "40 dropped") {
+		t.Fatalf("header misses dropped count: %s", out)
+	}
+	if !strings.Contains(out, "1 spans, 1 logs") {
+		t.Fatalf("header misses entry split: %s", out)
+	}
+	if !strings.Contains(out, "reduce") {
+		t.Fatalf("orphan span missing from tree: %s", out)
+	}
+}
+
+// TestFlightReportEndToEnd drives a live tracer through a flight
+// recorder, dumps it as NDJSON, and aggregates the parsed dump — the
+// exact pipeline `psmd | psmreport flight` runs.
+func TestFlightReportEndToEnd(t *testing.T) {
+	f := obs.NewFlight(64)
+	tr := obs.NewTracer(nil)
+	tr.SetFlight(f)
+	ctx := obs.WithTracer(context.Background(), tr)
+	cctx, parent := obs.Start(ctx, "snapshot")
+	_, child := obs.Start(cctx, "join")
+	child.End()
+	parent.End()
+
+	var dump bytes.Buffer
+	if err := f.WriteNDJSON(&dump); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := obs.ReadFlight(&dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bytes.Buffer
+	if err := writeFlightReport(&report, entries, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := report.String()
+	if !strings.Contains(out, "snapshot") || !strings.Contains(out, "join") {
+		t.Fatalf("report lost the span tree:\n%s", out)
+	}
+}

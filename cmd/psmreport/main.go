@@ -7,12 +7,15 @@
 //	psmreport -table 2 [-long] [-scale 0.1] [-ip AES]
 //	psmreport -table 3 [-scale 0.1] [-ip Camellia]
 //	psmreport provenance -func a.func.csv,b.func.csv -power a.power.csv,b.power.csv [-o log.ndjson]
+//	psmreport flight [-top 20] [dump.ndjson]
 //
 // scale < 1 shrinks the testset lengths proportionally for quick runs;
 // the paper's numbers use the full lengths (scale = 1). The provenance
 // subcommand rebuilds the model and writes every Section IV-A
 // mergeability decision as NDJSON, in the same canonical order psmd
-// serves at GET /v1/provenance.
+// serves at GET /v1/provenance. The flight subcommand aggregates a
+// flight-recorder dump (GET /debug/flight, or psmd's SIGQUIT/crash
+// output) into a per-stage self-time tree.
 package main
 
 import (
@@ -27,6 +30,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "provenance" {
 		if err := runProvenance(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "psmreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "flight" {
+		if err := runFlight(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "psmreport:", err)
 			os.Exit(1)
 		}

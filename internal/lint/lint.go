@@ -12,6 +12,7 @@
 //	nondet-source time.Now / unseeded math/rand / os.Getenv in model code
 //	mutex-held-blocking  mutexes held across blocking work; lost unlocks
 //	ctx-hygiene   unstoppable goroutines; dropped/shadowed contexts
+//	obs-logging   ad-hoc stderr logging in serving-path packages (use obs.Logger)
 //
 // The driver is multi-pass and whole-program within the module:
 //
@@ -89,6 +90,7 @@ func Rules() []Rule {
 		mutexHeldRule{},
 		nanGuardRule{},
 		nondetSourceRule{},
+		obsLoggingRule{},
 		obsMetricsRule{},
 	}
 }

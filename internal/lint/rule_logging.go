@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// obsLoggingRule keeps the serving path's diagnostics structured: psmd's
+// operational surfaces (cmd/psmd, internal/serve, internal/stream) log
+// through obs.Logger — leveled NDJSON events that also land in the
+// flight recorder — so ad-hoc stderr logging there (the standard log
+// package, fmt.Fprint* to os.Stderr, direct os.Stderr writes) produces
+// lines no dump or analyzer ever sees. Other packages (CLIs printing
+// results, scripts) are out of scope: stderr is their interface, not a
+// diagnostics side channel. Deliberate raw writes — the flight dump
+// itself goes to stderr — are whitelisted per line with
+// //psmlint:ignore obs-logging.
+type obsLoggingRule struct{}
+
+func (obsLoggingRule) ID() string { return "obs-logging" }
+
+func (obsLoggingRule) Doc() string {
+	return "ad-hoc stderr logging (log package, fmt to os.Stderr) in serving-path packages (use obs.Logger)"
+}
+
+// obsLoggingScope lists the package-path tails the rule applies to.
+var obsLoggingScope = []string{"cmd/psmd", "internal/serve", "internal/stream"}
+
+func inObsLoggingScope(path string) bool {
+	for _, tail := range obsLoggingScope {
+		if path == tail || strings.HasSuffix(path, "/"+tail) {
+			return true
+		}
+	}
+	return false
+}
+
+// isOsStderr reports whether the expression resolves to the os.Stderr
+// variable (through parentheses; not through local aliases — an alias is
+// an explicit decision the rule does not chase).
+func isOsStderr(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == "os" && v.Name() == "Stderr"
+}
+
+func (obsLoggingRule) Check(p *Package, env *Env) []Finding {
+	if !inObsLoggingScope(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "log":
+				out = append(out, Finding{
+					Rule: "obs-logging",
+					Pos:  p.Fset.Position(call.Pos()),
+					Msg:  fmt.Sprintf("log.%s in a serving-path package; emit a structured event through obs.Logger", fn.Name()),
+				})
+			case "fmt":
+				// fmt.Fprint/Fprintf/Fprintln with os.Stderr as the writer.
+				if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 && isOsStderr(p.Info, call.Args[0]) {
+					out = append(out, Finding{
+						Rule: "obs-logging",
+						Pos:  p.Fset.Position(call.Pos()),
+						Msg:  fmt.Sprintf("fmt.%s to os.Stderr in a serving-path package; emit a structured event through obs.Logger", fn.Name()),
+					})
+				}
+			case "os":
+				// os.Stderr.Write / WriteString method calls.
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+					strings.HasPrefix(fn.Name(), "Write") && isOsStderr(p.Info, sel.X) {
+					out = append(out, Finding{
+						Rule: "obs-logging",
+						Pos:  p.Fset.Position(call.Pos()),
+						Msg:  fmt.Sprintf("os.Stderr.%s in a serving-path package; emit a structured event through obs.Logger", fn.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

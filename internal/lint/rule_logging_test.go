@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObsLoggingRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		// In scope: the package path ends in internal/serve.
+		"internal/serve/a.go": `package serve
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func BadLogPkg(err error) {
+	log.Printf("upload failed: %v", err)
+	log.Println("still here")
+}
+
+func BadFprint(err error) {
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+}
+
+func BadRawWrite(b []byte) {
+	os.Stderr.Write(b)
+	os.Stderr.WriteString("oops")
+}
+
+func OkStdout(msg string) {
+	fmt.Fprintln(os.Stdout, msg) // stdout is a result channel, not logging
+	fmt.Println(msg)
+}
+
+func OkSuppressed(b []byte) {
+	//psmlint:ignore obs-logging flight dump on the way down
+	os.Stderr.Write(b)
+}
+`,
+		// Out of scope: scripts and other packages keep raw stderr.
+		"scripts/tool.go": `package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	log.Println("fine here")
+	fmt.Fprintln(os.Stderr, "also fine")
+}
+`,
+	})
+	fs, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []Finding
+	for _, f := range fs {
+		if f.Rule == "obs-logging" {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) != 6 {
+		t.Fatalf("want 6 obs-logging findings (2 log, 2 fmt, 2 raw write), got %d: %v", len(hits), hits)
+	}
+	for _, f := range hits {
+		if !strings.Contains(f.Pos.Filename, "internal/serve") {
+			t.Fatalf("finding outside the rule scope: %v", f)
+		}
+		if !strings.Contains(f.Msg, "obs.Logger") {
+			t.Fatalf("finding does not point at obs.Logger: %v", f)
+		}
+	}
+}
+
+func TestObsLoggingRuleScope(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"cmd/psmd", true},
+		{"psmkit/cmd/psmd", true},
+		{"internal/serve", true},
+		{"psmkit/internal/stream", true},
+		{"cmd/psmgen", false},
+		{"scripts", false},
+		{"internal/obs", false},
+		{"notcmd/psmd2", false},
+	} {
+		if got := inObsLoggingScope(tc.path); got != tc.want {
+			t.Errorf("inObsLoggingScope(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults of the always-on diagnostics: the flight ring's capacity and
+// the sliding-window geometry (6 slots of 10s — the last minute) shared
+// by the daemon's windowed histograms and counters.
+const (
+	DefaultFlightEntries  = 4096
+	DefaultWindowInterval = 10 * time.Second
+	DefaultWindowSlots    = 6
+)
+
+// FlightEntry is one captured event of the flight recorder: a finished
+// span or a structured log event. Seq is the entry's global sequence
+// number, assigned at record time — sequence numbers are contiguous
+// across the whole recording, so a dump whose lowest Seq is s has
+// provably dropped s-1 older entries to wraparound, and sorting by Seq
+// deterministically orders any dump.
+type FlightEntry struct {
+	Seq    uint64
+	TimeNS int64  // event time (span start / log emit), UnixNano
+	Kind   string // "span" or "log"
+	Name   string // span name or log message
+	Level  string // log level; "" for spans
+	ID     int64  // span id; 0 for logs
+	Parent int64  // parent span id; 0 for top-level spans and logs
+	DurNS  int64  // span duration; 0 for logs
+	Attrs  []Attr
+}
+
+// flightSlot is one ring cell. The per-slot mutex makes a concurrent
+// dump see whole entries without serializing writers against each other
+// (writers contend only when they land on the same cell).
+type flightSlot struct {
+	mu sync.Mutex
+	e  FlightEntry
+}
+
+// Flight is the always-on flight recorder: a fixed-size ring buffer
+// that continuously captures the most recent span and log events with
+// bounded memory and near-zero overhead. Recording takes one atomic
+// increment to claim a cell plus one uncontended per-cell mutex; no
+// allocation and no encoding happen until a dump is requested. A nil
+// *Flight is inert, like every other obs instrument.
+//
+// The recorder is the production answer to "the daemon misbehaved three
+// hours in and -trace was not passed at boot": psmd keeps one attached
+// to its tracer and logger at all times and dumps it on demand
+// (GET /debug/flight), on SIGQUIT, and on crash paths.
+type Flight struct {
+	slots  []flightSlot
+	cursor atomic.Uint64 // total entries ever recorded
+}
+
+// NewFlight returns a recorder holding the most recent n entries
+// (n ≤ 0 selects DefaultFlightEntries).
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = DefaultFlightEntries
+	}
+	return &Flight{slots: make([]flightSlot, n)}
+}
+
+// Capacity returns the ring size (0 on nil).
+func (f *Flight) Capacity() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Recorded returns the total number of entries ever recorded, including
+// those overwritten by wraparound (0 on nil).
+func (f *Flight) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.cursor.Load()
+}
+
+// Dropped returns how many entries wraparound has overwritten (0 on nil).
+func (f *Flight) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	if n := f.cursor.Load(); n > uint64(len(f.slots)) {
+		return n - uint64(len(f.slots))
+	}
+	return 0
+}
+
+// record claims the next cell and stores e with its sequence number.
+func (f *Flight) record(e FlightEntry) {
+	seq := f.cursor.Add(1)
+	s := &f.slots[(seq-1)%uint64(len(f.slots))]
+	e.Seq = seq
+	s.mu.Lock()
+	s.e = e
+	s.mu.Unlock()
+}
+
+// RecordSpan captures one finished span. attrs is retained as-is (not
+// copied): callers pass ownership, which the tracer's span lifecycle
+// guarantees — a span's attrs are never mutated after End.
+func (f *Flight) RecordSpan(name string, id, parent int64, start time.Time, dur time.Duration, attrs []Attr) {
+	if f == nil {
+		return
+	}
+	f.record(FlightEntry{
+		TimeNS: start.UnixNano(),
+		Kind:   "span",
+		Name:   name,
+		ID:     id,
+		Parent: parent,
+		DurNS:  dur.Nanoseconds(),
+		Attrs:  attrs,
+	})
+}
+
+// RecordLog captures one structured log event.
+func (f *Flight) RecordLog(at time.Time, level, msg string, attrs []Attr) {
+	if f == nil {
+		return
+	}
+	f.record(FlightEntry{
+		TimeNS: at.UnixNano(),
+		Kind:   "log",
+		Name:   msg,
+		Level:  level,
+		Attrs:  attrs,
+	})
+}
+
+// Snapshot returns the current ring contents ordered by sequence number
+// (nil on a nil or empty recorder). Concurrent recording may land
+// entries while the snapshot walks the ring — every returned entry is
+// whole (the per-slot lock forbids torn reads), and the ordering is
+// still strictly by Seq; a quiesced recorder snapshots identically
+// every time.
+func (f *Flight) Snapshot() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEntry, 0, len(f.slots))
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.mu.Lock()
+		e := s.e
+		s.mu.Unlock()
+		if e.Seq != 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// flightWire is the NDJSON form of one entry. Attrs marshal as a JSON
+// object (encoding/json sorts the keys), so a quiesced dump is
+// byte-stable.
+type flightWire struct {
+	Seq    uint64                 `json:"seq"`
+	TimeNS int64                  `json:"ts_ns"`
+	Kind   string                 `json:"kind"`
+	Name   string                 `json:"name"`
+	Level  string                 `json:"level,omitempty"`
+	ID     int64                  `json:"id,omitempty"`
+	Parent int64                  `json:"parent,omitempty"`
+	DurNS  int64                  `json:"dur_ns,omitempty"`
+	Attrs  map[string]interface{} `json:"attrs,omitempty"`
+}
+
+func wireOf(e FlightEntry) flightWire {
+	w := flightWire{
+		Seq:    e.Seq,
+		TimeNS: e.TimeNS,
+		Kind:   e.Kind,
+		Name:   e.Name,
+		Level:  e.Level,
+		ID:     e.ID,
+		Parent: e.Parent,
+		DurNS:  e.DurNS,
+	}
+	if len(e.Attrs) > 0 {
+		w.Attrs = make(map[string]interface{}, len(e.Attrs))
+		for _, a := range e.Attrs {
+			w.Attrs[a.Key] = a.Value
+		}
+	}
+	return w
+}
+
+// WriteNDJSON dumps the current ring as NDJSON, one entry per line,
+// ordered by sequence number. Dumping never blocks recording beyond the
+// per-cell copy.
+func (f *Flight) WriteNDJSON(w io.Writer) error {
+	for _, e := range f.Snapshot() {
+		line, err := json.Marshal(wireOf(e))
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFlight parses an NDJSON flight dump back into entries (the
+// inverse of WriteNDJSON) — the input of `psmreport flight`. Attribute
+// order inside an entry is not preserved (JSON objects are unordered);
+// entry order follows the input.
+func ReadFlight(r io.Reader) ([]FlightEntry, error) {
+	var out []FlightEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var w flightWire
+		if err := json.Unmarshal(text, &w); err != nil {
+			return nil, fmt.Errorf("obs: flight dump line %d: %w", line, err)
+		}
+		if w.Kind != "span" && w.Kind != "log" {
+			return nil, fmt.Errorf("obs: flight dump line %d: unknown kind %q", line, w.Kind)
+		}
+		e := FlightEntry{
+			Seq:    w.Seq,
+			TimeNS: w.TimeNS,
+			Kind:   w.Kind,
+			Name:   w.Name,
+			Level:  w.Level,
+			ID:     w.ID,
+			Parent: w.Parent,
+			DurNS:  w.DurNS,
+		}
+		if len(w.Attrs) > 0 {
+			keys := make([]string, 0, len(w.Attrs))
+			for k := range w.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				e.Attrs = append(e.Attrs, Attr{Key: k, Value: w.Attrs[k]})
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

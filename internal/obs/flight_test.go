@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlight(8)
+	base := time.Unix(0, 1_700_000_000_000_000_000)
+	for i := 0; i < 20; i++ {
+		f.RecordLog(base.Add(time.Duration(i)*time.Millisecond), "info", "ev", nil)
+	}
+	if got := f.Recorded(); got != 20 {
+		t.Fatalf("Recorded = %d, want 20", got)
+	}
+	if got := f.Dropped(); got != 12 {
+		t.Fatalf("Dropped = %d, want 12", got)
+	}
+	snap := f.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot holds %d entries, want 8", len(snap))
+	}
+	for i, e := range snap {
+		want := uint64(13 + i) // entries 13..20 survive
+		if e.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestFlightSpanAndLogRoundTrip(t *testing.T) {
+	f := NewFlight(16)
+	start := time.Unix(0, 1_700_000_000_000_000_000)
+	f.RecordSpan("ingest", 7, 3, start, 42*time.Millisecond, []Attr{KV("records", 10), KV("session", "s1")})
+	f.RecordLog(start.Add(time.Second), "warn", "slow session", []Attr{KV("ms", 99.5)})
+
+	var buf bytes.Buffer
+	if err := f.WriteNDJSON(&buf); err != nil {
+		t.Fatalf("WriteNDJSON: %v", err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Fatalf("dump has %d lines, want 2:\n%s", n, buf.String())
+	}
+	got, err := ReadFlight(&buf)
+	if err != nil {
+		t.Fatalf("ReadFlight: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(got))
+	}
+	sp := got[0]
+	if sp.Kind != "span" || sp.Name != "ingest" || sp.ID != 7 || sp.Parent != 3 ||
+		sp.DurNS != (42*time.Millisecond).Nanoseconds() || sp.TimeNS != start.UnixNano() {
+		t.Fatalf("span round-trip mismatch: %+v", sp)
+	}
+	if len(sp.Attrs) != 2 || sp.Attrs[0].Key != "records" || sp.Attrs[1].Key != "session" {
+		t.Fatalf("span attrs not sorted by key: %+v", sp.Attrs)
+	}
+	lg := got[1]
+	if lg.Kind != "log" || lg.Name != "slow session" || lg.Level != "warn" || lg.ID != 0 || lg.DurNS != 0 {
+		t.Fatalf("log round-trip mismatch: %+v", lg)
+	}
+}
+
+func TestFlightQuiescedDumpByteStable(t *testing.T) {
+	f := NewFlight(4)
+	base := time.Unix(0, 1_700_000_000_000_000_000)
+	for i := 0; i < 9; i++ { // wraps more than twice
+		f.RecordLog(base.Add(time.Duration(i)*time.Second), "info", "tick", []Attr{KV("i", i), KV("host", "a")})
+	}
+	var a, b bytes.Buffer
+	if err := f.WriteNDJSON(&a); err != nil {
+		t.Fatalf("dump 1: %v", err)
+	}
+	if err := f.WriteNDJSON(&b); err != nil {
+		t.Fatalf("dump 2: %v", err)
+	}
+	if a.Len() == 0 || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("quiesced dumps differ:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+}
+
+func TestFlightConcurrentRecordAndSnapshot(t *testing.T) {
+	f := NewFlight(32)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader while the ring wraps
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range f.Snapshot() {
+				if e.Kind != "log" || e.Name != "hammer" {
+					t.Errorf("torn entry: %+v", e)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			at := time.Unix(0, 1)
+			for i := 0; i < perWriter; i++ {
+				f.RecordLog(at, "info", "hammer", nil)
+			}
+		}()
+	}
+	for f.Recorded() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := f.Recorded(); got != writers*perWriter {
+		t.Fatalf("Recorded = %d, want %d", got, writers*perWriter)
+	}
+	snap := f.Snapshot()
+	if len(snap) != 32 {
+		t.Fatalf("snapshot holds %d entries, want 32", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot not strictly Seq-ordered at %d: %d then %d", i, snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}
+
+func TestFlightNilInert(t *testing.T) {
+	var f *Flight
+	f.RecordSpan("x", 1, 0, time.Now(), time.Second, nil)
+	f.RecordLog(time.Now(), "info", "x", nil)
+	if f.Snapshot() != nil || f.Capacity() != 0 || f.Recorded() != 0 || f.Dropped() != 0 {
+		t.Fatal("nil Flight is not inert")
+	}
+}
+
+func TestReadFlightRejectsBadKind(t *testing.T) {
+	_, err := ReadFlight(strings.NewReader(`{"seq":1,"ts_ns":1,"kind":"bogus","name":"x"}` + "\n"))
+	if err == nil {
+		t.Fatal("ReadFlight accepted an unknown kind")
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevelsAndShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Debug("dropped")
+	l.Info("serving", KV("addr", "127.0.0.1:0"))
+	l.Warn("slow", KV("ms", 12.5))
+	l.Error("boom")
+	if l.Err() != nil {
+		t.Fatalf("Err = %v", l.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("emitted %d lines, want 3 (debug filtered):\n%s", len(lines), buf.String())
+	}
+	var ev struct {
+		TimeNS int64                  `json:"ts_ns"`
+		Level  string                 `json:"level"`
+		Msg    string                 `json:"msg"`
+		Attrs  map[string]interface{} `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.Level != "info" || ev.Msg != "serving" || ev.TimeNS == 0 || ev.Attrs["addr"] != "127.0.0.1:0" {
+		t.Fatalf("unexpected event: %+v", ev)
+	}
+	for i, want := range []string{`"level":"info"`, `"level":"warn"`, `"level":"error"`} {
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("line %d missing %s: %s", i, want, lines[i])
+		}
+	}
+}
+
+func TestLoggerFlightCapture(t *testing.T) {
+	f := NewFlight(8)
+	l := NewLogger(nil, LevelDebug) // no writer: flight capture only
+	l.SetFlight(f)
+	l.Info("captured", KV("k", "v"))
+	snap := f.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("flight holds %d entries, want 1", len(snap))
+	}
+	e := snap[0]
+	if e.Kind != "log" || e.Level != "info" || e.Name != "captured" || len(e.Attrs) != 1 {
+		t.Fatalf("unexpected flight entry: %+v", e)
+	}
+}
+
+func TestLoggerNilInert(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x")
+	l.Warn("x")
+	l.Error("x")
+	l.SetFlight(NewFlight(1))
+	if l.Enabled(LevelError) || l.Err() != nil {
+		t.Fatal("nil Logger is not inert")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, " error ": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted an unknown level")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically-adjusted integer metric. A nil *Counter —
@@ -93,6 +94,55 @@ type HistogramSnapshot struct {
 	Count  int64     `json:"count"`
 }
 
+// Quantile estimates the q-quantile (q in [0,1], clamped) of the
+// snapshotted distribution by linear interpolation within bucket
+// bounds: the first bucket spans [0, Bounds[0]), bucket i spans
+// [Bounds[i-1], Bounds[i]), and the overflow bucket is pinned to the
+// last bound — an estimator can only interpolate inside known bounds,
+// so overflow mass reports the highest finite bound rather than
+// inventing an upper limit. Returns 0 on an empty snapshot; never NaN
+// or Inf, so the result is always JSON-encodable.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 || len(s.Counts) != len(s.Bounds)+1 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next && i < len(s.Counts)-1 {
+			cum = next
+			continue
+		}
+		if i == len(s.Counts)-1 {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - cum) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Snapshot returns the histogram's point-in-time state (zero on nil).
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
@@ -126,18 +176,22 @@ func ExponentialBuckets(start, factor float64, count int) []float64 {
 // instruments so instrumented code pays one nil check when metrics are
 // off.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	windows   map[string]*WindowedHistogram
+	wcounters map[string]*WindowedCounter
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		hists:     map[string]*Histogram{},
+		windows:   map[string]*WindowedHistogram{},
+		wcounters: map[string]*WindowedCounter{},
 	}
 }
 
@@ -190,11 +244,47 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Window returns the named windowed histogram, creating it with the
+// given bucket bounds and window geometry on first use (an existing
+// window keeps its configuration).
+func (r *Registry) Window(name string, bounds []float64, interval time.Duration, windows int) *WindowedHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.windows[name]
+	if !ok {
+		h = NewWindowedHistogram(bounds, interval, windows)
+		r.windows[name] = h
+	}
+	return h
+}
+
+// WindowCounter returns the named windowed counter, creating it with
+// the given window geometry on first use.
+func (r *Registry) WindowCounter(name string, interval time.Duration, windows int) *WindowedCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.wcounters[name]
+	if !ok {
+		c = NewWindowedCounter(interval, windows)
+		r.wcounters[name] = c
+	}
+	return c
+}
+
 // Snapshot captures every instrument's current value.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Windows holds the merged state of every windowed histogram — the
+	// distribution over the most recent window, not since boot.
+	Windows map[string]HistogramSnapshot `json:"windows,omitempty"`
 }
 
 // Snapshot returns a point-in-time copy of the registry (empty on nil).
@@ -217,6 +307,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
+	}
+	if len(r.windows) > 0 {
+		s.Windows = make(map[string]HistogramSnapshot, len(r.windows))
+		for name, wh := range r.windows {
+			s.Windows[name] = wh.Snapshot()
+		}
 	}
 	return s
 }
@@ -254,6 +350,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
 			name, h.Count, name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	// Windowed histograms export as Prometheus summaries: their state is
+	// already a sliding window, which is what a summary's quantiles mean.
+	for _, name := range sortedKeys(s.Windows) {
+		h := s.Windows[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, q := range [...]float64{0.5, 0.95, 0.99} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", name, q, h.Quantile(q)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
 			return err
 		}
 	}

@@ -39,6 +39,11 @@ type spanRecord struct {
 type Tracer struct {
 	nextID atomic.Int64
 
+	// flight and spanWin are attached before the tracer is shared (see
+	// SetFlight/SetSpanWindow) and read without t.mu afterwards.
+	flight  *Flight
+	spanWin *WindowedHistogram
+
 	mu      sync.Mutex
 	w       io.Writer // nil: summary only
 	records []spanRecord
@@ -49,6 +54,26 @@ type Tracer struct {
 // NewTracer returns a tracer streaming span events to w as NDJSON.
 // A nil w collects the summary tree without emitting events.
 func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// SetFlight attaches a flight recorder: every ended span is also
+// captured in the ring. Attach before the tracer is shared across
+// goroutines.
+func (t *Tracer) SetFlight(f *Flight) {
+	if t == nil {
+		return
+	}
+	t.flight = f
+}
+
+// SetSpanWindow attaches a windowed histogram observing every ended
+// span's duration in milliseconds. Attach before the tracer is shared
+// across goroutines.
+func (t *Tracer) SetSpanWindow(h *WindowedHistogram) {
+	if t == nil {
+		return
+	}
+	t.spanWin = h
+}
 
 // Err returns the first event-write error, if any.
 func (t *Tracer) Err() error {
@@ -129,6 +154,7 @@ func (s *Span) End() {
 	}
 	s.ended = true
 	dur := time.Since(s.start)
+	at := s.attrs
 	var attrs map[string]interface{}
 	if len(s.attrs) > 0 {
 		attrs = make(map[string]interface{}, len(s.attrs))
@@ -139,6 +165,8 @@ func (s *Span) End() {
 	s.mu.Unlock()
 
 	t := s.t
+	t.flight.RecordSpan(s.name, s.id, s.parent, s.start, dur, at)
+	t.spanWin.Observe(float64(dur.Nanoseconds()) / 1e6)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.w != nil {

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// windowSlot is one interval of a sliding-window instrument. epoch is
+// the absolute interval index (UnixNano / interval) the slot currently
+// tallies; a slot whose epoch is stale is reset before reuse, so slots
+// age out without a background ticker.
+type windowSlot struct {
+	epoch  int64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// WindowedHistogram is a sliding-window distribution: a ring of
+// per-interval fixed-bucket histograms whose merge covers the most
+// recent `windows` intervals (the current, partially-filled interval
+// included). Observations land in the interval the wall clock maps to;
+// no goroutine runs in the background — rotation happens lazily on
+// Observe/Snapshot, and slots older than the window are simply never
+// merged. A nil *WindowedHistogram is inert.
+//
+// This is the instrument behind the daemon's live SLO surface: where
+// the cumulative Histogram answers "what has the process seen since
+// boot", the windowed variant answers "what are ingest and join latency
+// doing *right now*" — the p50/p95/p99 that GET /v1/status reports.
+type WindowedHistogram struct {
+	mu       sync.Mutex
+	bounds   []float64
+	interval int64 // ns per slot
+	windows  int   // slots merged into a snapshot
+	slots    []windowSlot
+	nowNS    func() int64 // injectable clock (tests)
+}
+
+// NewWindowedHistogram returns a windowed histogram with the given
+// bucket bounds covering `windows` intervals of the given length
+// (non-positive arguments select DefaultWindowInterval/Slots). The ring
+// keeps windows+1 slots so the slot being recycled for a new interval
+// is never one a concurrent snapshot still merges.
+func NewWindowedHistogram(bounds []float64, interval time.Duration, windows int) *WindowedHistogram {
+	if interval <= 0 {
+		interval = DefaultWindowInterval
+	}
+	if windows <= 0 {
+		windows = DefaultWindowSlots
+	}
+	h := &WindowedHistogram{
+		bounds:   append([]float64(nil), bounds...),
+		interval: int64(interval),
+		windows:  windows,
+		slots:    make([]windowSlot, windows+1),
+		nowNS:    func() int64 { return time.Now().UnixNano() },
+	}
+	for i := range h.slots {
+		h.slots[i].epoch = -1
+		h.slots[i].counts = make([]int64, len(bounds)+1)
+	}
+	return h
+}
+
+// WindowDuration returns the total span a snapshot covers.
+func (h *WindowedHistogram) WindowDuration() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.interval * int64(h.windows))
+}
+
+// slotFor rotates the ring to the current interval and returns its
+// slot. Caller holds h.mu.
+func (h *WindowedHistogram) slotFor(epoch int64) *windowSlot {
+	s := &h.slots[int(epoch%int64(len(h.slots)))]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.sum, s.n = 0, 0
+	}
+	return s
+}
+
+// Observe tallies one value into the current interval.
+func (h *WindowedHistogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	epoch := h.nowNS() / h.interval
+	h.mu.Lock()
+	s := h.slotFor(epoch)
+	slot := len(h.bounds)
+	for i, ub := range h.bounds {
+		if v < ub {
+			slot = i
+			break
+		}
+	}
+	s.counts[slot]++
+	s.sum += v
+	s.n++
+	h.mu.Unlock()
+}
+
+// Snapshot merges the most recent `windows` intervals (the current one
+// included) into one point-in-time histogram state (zero on nil).
+func (h *WindowedHistogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	epoch := h.nowNS() / h.interval
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.bounds)+1),
+	}
+	for i := range h.slots {
+		s := &h.slots[i]
+		if s.epoch < 0 || s.epoch <= epoch-int64(h.windows) || s.epoch > epoch {
+			continue
+		}
+		for j, c := range s.counts {
+			out.Counts[j] += c
+		}
+		out.Sum += s.sum
+		out.Count += s.n
+	}
+	return out
+}
+
+// WindowedCounter is the counting sibling of WindowedHistogram: a ring
+// of per-interval counts whose Sum covers the most recent `windows`
+// intervals. It backs windowed rates — requests and errors over the
+// last minute — for the error-rate burn GET /v1/status reports. A nil
+// *WindowedCounter is inert.
+type WindowedCounter struct {
+	mu       sync.Mutex
+	interval int64
+	windows  int
+	epochs   []int64
+	counts   []int64
+	nowNS    func() int64
+}
+
+// NewWindowedCounter returns a windowed counter covering `windows`
+// intervals of the given length (non-positive arguments select
+// DefaultWindowInterval/Slots).
+func NewWindowedCounter(interval time.Duration, windows int) *WindowedCounter {
+	if interval <= 0 {
+		interval = DefaultWindowInterval
+	}
+	if windows <= 0 {
+		windows = DefaultWindowSlots
+	}
+	c := &WindowedCounter{
+		interval: int64(interval),
+		windows:  windows,
+		epochs:   make([]int64, windows+1),
+		counts:   make([]int64, windows+1),
+		nowNS:    func() int64 { return time.Now().UnixNano() },
+	}
+	for i := range c.epochs {
+		c.epochs[i] = -1
+	}
+	return c
+}
+
+// WindowDuration returns the total span a Sum covers.
+func (c *WindowedCounter) WindowDuration() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.interval * int64(c.windows))
+}
+
+// Add adjusts the current interval's count.
+func (c *WindowedCounter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	epoch := c.nowNS() / c.interval
+	c.mu.Lock()
+	i := int(epoch % int64(len(c.epochs)))
+	if c.epochs[i] != epoch {
+		c.epochs[i] = epoch
+		c.counts[i] = 0
+	}
+	c.counts[i] += d
+	c.mu.Unlock()
+}
+
+// Sum returns the total over the most recent `windows` intervals, the
+// current one included (0 on nil).
+func (c *WindowedCounter) Sum() int64 {
+	if c == nil {
+		return 0
+	}
+	epoch := c.nowNS() / c.interval
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for i, ep := range c.epochs {
+		if ep < 0 || ep <= epoch-int64(c.windows) || ep > epoch {
+			continue
+		}
+		total += c.counts[i]
+	}
+	return total
+}

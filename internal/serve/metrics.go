@@ -31,6 +31,15 @@ type metricsDoc struct {
 	StatesMerged    int             `json:"states_merged"`
 	JoinNanos       int64           `json:"join_nanos"`
 	JoinLatencyMs   []latencyBucket `json:"join_latency_ms"`
+	// Join latency quantiles over the cumulative histogram, estimated by
+	// linear interpolation within bucket bounds (obs.HistogramSnapshot.
+	// Quantile).
+	JoinP50Ms float64 `json:"join_p50_ms"`
+	JoinP95Ms float64 `json:"join_p95_ms"`
+	JoinP99Ms float64 `json:"join_p99_ms"`
+	// SlowSessions is the top-K slowest /v1/traces sessions with their
+	// per-stage wall-time attribution.
+	SlowSessions []sessionTimeline `json:"slow_sessions"`
 }
 
 func metricsOf(m stream.Metrics, uptime time.Duration) metricsDoc {
@@ -54,6 +63,17 @@ func metricsOf(m stream.Metrics, uptime time.Duration) metricsDoc {
 		}
 		doc.JoinLatencyMs = append(doc.JoinLatencyMs, latencyBucket{LE: le, Count: n})
 	}
+	hs := obs.HistogramSnapshot{
+		Bounds: stream.LatencyBuckets,
+		Counts: make([]int64, len(m.JoinLatency)),
+	}
+	for i, n := range m.JoinLatency {
+		hs.Counts[i] = int64(n)
+		hs.Count += int64(n)
+	}
+	doc.JoinP50Ms = hs.Quantile(0.50)
+	doc.JoinP95Ms = hs.Quantile(0.95)
+	doc.JoinP99Ms = hs.Quantile(0.99)
 	return doc
 }
 
@@ -73,9 +93,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		doc := metricsOf(s.eng.Metrics(), time.Since(s.start))
+		doc.SlowSessions = s.slowSessions()
 		//psmlint:ignore err-drop response already committed; a write error here means the client left
 		obs.WriteExpvarJSON(w, map[string]interface{}{
-			"psmd":          metricsOf(s.eng.Metrics(), time.Since(s.start)),
+			"psmd":          doc,
 			"psmd_registry": s.eng.Registry().Snapshot(),
 		})
 	case "prometheus":

@@ -35,6 +35,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"psmkit/internal/check"
@@ -62,8 +64,34 @@ type Config struct {
 	// Sim parameterizes the estimation tracker.
 	Sim powersim.Config
 	// Tracer, when set, attaches to every request context: ingestion and
-	// snapshot spans stream to it as NDJSON (psmd -trace).
+	// snapshot spans stream to it as NDJSON (psmd -trace). When nil the
+	// server still runs an internal tracer (summary-only, no event
+	// writer) so the always-on flight recorder sees every span.
 	Tracer *obs.Tracer
+	// Flight, when set, is the flight recorder the server's tracer and
+	// handlers capture into; nil builds a private ring of FlightEntries
+	// slots. Either way GET /debug/flight serves it.
+	Flight *obs.Flight
+	// FlightEntries sizes the private flight ring when Flight is nil;
+	// ≤ 0 selects obs.DefaultFlightEntries.
+	FlightEntries int
+	// Log receives the server's structured events (upload failures,
+	// verification failures). A nil logger drops them — the flight
+	// recorder still sees span history.
+	Log *obs.Logger
+	// SLO configures the objectives GET /v1/status burns against.
+	SLO SLOConfig
+}
+
+// SLOConfig holds the service-level objectives of the status surface.
+// Zero values disable the corresponding burn computation.
+type SLOConfig struct {
+	// IngestP99Ms is the windowed p99 ingest-latency objective in
+	// milliseconds (psmd -slo-ingest-p99).
+	IngestP99Ms float64
+	// ErrorRate is the windowed 5xx error-rate objective as a fraction
+	// of /v1/ requests (psmd -slo-error-rate).
+	ErrorRate float64
 }
 
 // DefaultConfig returns serving-grade defaults.
@@ -77,40 +105,135 @@ func DefaultConfig() Config {
 
 // Server routes the endpoints to a streaming engine.
 type Server struct {
-	cfg   Config
-	eng   *stream.Engine
-	start time.Time
+	cfg    Config
+	eng    *stream.Engine
+	start  time.Time
+	tracer *obs.Tracer
+	flight *obs.Flight
+	log    *obs.Logger
+
+	// SLO accounting over the /v1/ surface (middleware-maintained).
+	mReqs      *obs.Counter
+	mErrs      *obs.Counter
+	wReqs      *obs.WindowedCounter
+	wErrs      *obs.WindowedCounter
+	hIngestWin *obs.WindowedHistogram
+
+	// Per-session ingest timelines: a top-K slow-session table.
+	nextSession atomic.Int64
+	tlMu        sync.Mutex
+	slow        []sessionTimeline
 }
 
-// New builds a server around a fresh engine.
+// New builds a server around a fresh engine. Runtime diagnostics are
+// always on: every request runs under a tracer (the configured one, or
+// an internal summary-only tracer), every ended span lands in the
+// flight recorder, and the /v1/ middleware keeps the windowed SLO
+// instruments current.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg, eng: stream.NewEngine(cfg.Stream), start: time.Now()}
+	s := &Server{cfg: cfg, eng: stream.NewEngine(cfg.Stream), start: time.Now(), log: cfg.Log}
+	s.flight = cfg.Flight
+	if s.flight == nil {
+		s.flight = obs.NewFlight(cfg.FlightEntries)
+	}
+	s.tracer = cfg.Tracer
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(nil)
+	}
+	reg := s.eng.Registry()
+	s.tracer.SetFlight(s.flight)
+	s.tracer.SetSpanWindow(reg.Window("psmd_span_ms_window", stream.LatencyBuckets, obs.DefaultWindowInterval, obs.DefaultWindowSlots))
+	s.mReqs = reg.Counter("psmd_requests_total")
+	s.mErrs = reg.Counter("psmd_errors_total")
+	s.wReqs = reg.WindowCounter("psmd_requests_window", obs.DefaultWindowInterval, obs.DefaultWindowSlots)
+	s.wErrs = reg.WindowCounter("psmd_errors_window", obs.DefaultWindowInterval, obs.DefaultWindowSlots)
+	s.hIngestWin = reg.Window("psmd_ingest_latency_ms_window", stream.LatencyBuckets, obs.DefaultWindowInterval, obs.DefaultWindowSlots)
+	return s
 }
+
+// Flight exposes the server's flight recorder (psmd's SIGQUIT and
+// crash-path dumps).
+func (s *Server) Flight() *obs.Flight { return s.flight }
 
 // Engine exposes the underlying engine (tests, cmd wiring).
 func (s *Server) Engine() *stream.Engine { return s.eng }
 
-// Handler returns the route table. When the server has a tracer, every
-// request context carries it, so the engine's spans (ingest, snapshot,
-// simplify, collapse) report per request.
+// Handler returns the route table. Every request context carries the
+// server's tracer, so the engine's spans (ingest, snapshot, simplify,
+// collapse) report per request and land in the flight recorder; the
+// /v1/ surface additionally runs under the SLO middleware, which
+// maintains the windowed request/error counters and the windowed
+// ingest-latency histogram /v1/status reports from.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/traces", s.handleTraces)
 	mux.HandleFunc("/v1/model", s.handleModel)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("/v1/provenance", s.handleProvenance)
+	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	if s.cfg.Tracer == nil {
-		return mux
-	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		mux.ServeHTTP(w, r.WithContext(obs.WithTracer(r.Context(), s.cfg.Tracer)))
+		r = r.WithContext(obs.WithTracer(r.Context(), s.tracer))
+		// The status and dump surfaces stay outside the SLO accounting
+		// and create no spans of their own: probing the diagnostics must
+		// not perturb them (a quiesced flight dump stays byte-stable no
+		// matter how often it is fetched).
+		if !strings.HasPrefix(r.URL.Path, "/v1/") || r.URL.Path == "/v1/status" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		begin := time.Now()
+		// Accounting runs at response-commit time — before the first byte
+		// reaches the client — so a client that has its answer in hand and
+		// immediately probes /v1/status always sees its own request counted.
+		sw := &statusWriter{ResponseWriter: w, commit: func(code int) {
+			s.mReqs.Inc()
+			s.wReqs.Add(1)
+			if code >= http.StatusInternalServerError {
+				s.mErrs.Inc()
+				s.wErrs.Add(1)
+			}
+			if r.URL.Path == "/v1/traces" {
+				s.hIngestWin.Observe(float64(time.Since(begin).Nanoseconds()) / 1e6)
+			}
+		}}
+		mux.ServeHTTP(sw, r)
+		// The handler never wrote — the client vanished mid-upload. Count
+		// the request, but not as a server failure.
+		if sw.code == 0 {
+			sw.commit(0)
+		}
 	})
+}
+
+// statusWriter captures the response status code for SLO accounting and
+// fires the commit hook exactly once, just before the response commits.
+type statusWriter struct {
+	http.ResponseWriter
+	code   int
+	commit func(code int)
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+		w.commit(code)
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+		w.commit(w.code)
+	}
+	return w.ResponseWriter.Write(p)
 }
 
 // ingestResult is the response of a completed upload.
@@ -135,6 +258,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	begin := time.Now()
 	_, span := obs.Start(r.Context(), "ingest")
 	defer span.End()
 	sc := stream.NewScanner(r.Body, s.cfg.MaxLineBytes)
@@ -154,9 +278,29 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		if strings.Contains(err.Error(), "sessions already open") {
 			code = http.StatusTooManyRequests
 		}
+		s.log.Warn("session rejected", obs.KV("err", err.Error()))
 		http.Error(w, err.Error(), code)
 		return
 	}
+
+	// The session timeline attributes this upload's wall time to its
+	// stages (scan / parse / reduce / join); the top-K slowest feed the
+	// /metrics and /v1/status slow-session tables. Aborted sessions keep
+	// Trace = -1. Recording rides the response commit (the same
+	// before-the-first-byte discipline as the SLO middleware), so a
+	// client holding its ack already finds its session in the tables;
+	// the defer covers sessions whose client vanished before a response.
+	tl := &sessionTimeline{Session: s.nextSession.Add(1), Trace: -1}
+	sw := &statusWriter{ResponseWriter: w, commit: func(int) {
+		tl.TotalNS = time.Since(begin).Nanoseconds()
+		s.recordTimeline(tl)
+	}}
+	w = sw
+	defer func() {
+		if sw.code == 0 {
+			sw.commit(0)
+		}
+	}()
 
 	batch := s.cfg.IngestBatch
 	if batch <= 0 {
@@ -174,7 +318,10 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		if len(rows) == 0 {
 			return nil
 		}
+		t0 := time.Now()
 		err := sess.AppendBatch(rows, powers)
+		tl.ReduceNS += time.Since(t0).Nanoseconds()
+		tl.Records += len(rows)
 		rows, powers = rows[:0], powers[:0]
 		epoch++
 		return err
@@ -184,7 +331,10 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			sess.Abort()
 			return // connection is gone; no response reaches the client
 		}
+		t0 := time.Now()
 		err := sc.ScanRecord(&raw)
+		t1 := time.Now()
+		tl.ScanNS += t1.Sub(t0).Nanoseconds()
 		if err == io.EOF {
 			break
 		}
@@ -205,6 +355,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		k := len(rows) * len(sigs)
 		row, err := stream.DecodeRowArena(sigs, &raw, a, rowMem[k:k:k+len(sigs)])
+		tl.ParseNS += time.Since(t1).Nanoseconds()
 		if err != nil {
 			sess.Abort()
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -226,11 +377,15 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := sess.Rows()
+	t0 := time.Now()
 	idx, err := sess.Close()
+	tl.JoinNS += time.Since(t0).Nanoseconds()
 	if err != nil {
+		s.log.Warn("session close failed", obs.KV("err", err.Error()))
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tl.Trace = idx
 	span.SetAttr("trace", idx)
 	span.SetAttr("records", n)
 	writeJSON(w, http.StatusOK, ingestResult{Trace: idx, Records: n})
@@ -258,6 +413,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}
 	rep := check.VerifyPSM(m, "live", s.cfg.CheckOptions)
 	if rep.HasErrors() {
+		s.log.Error("live model failed verification", obs.KV("errors", rep.Count(check.Error)))
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusInternalServerError)
 		fmt.Fprintf(w, "live model failed verification (%d errors):\n", rep.Count(check.Error))

@@ -182,6 +182,7 @@ type Engine struct {
 	gPooled    *obs.Gauge
 	gServed    *obs.Gauge
 	hJoin      *obs.Histogram
+	hJoinWin   *obs.WindowedHistogram
 
 	mu        sync.Mutex
 	schema    []trace.Signal
@@ -222,12 +223,18 @@ func NewEngine(cfg Config) *Engine {
 		gPooled:    reg.Gauge("psmd_states_pooled"),
 		gServed:    reg.Gauge("psmd_states_served"),
 		hJoin:      reg.Histogram("psmd_join_latency_ms", LatencyBuckets),
+		hJoinWin:   reg.Window("psmd_join_latency_ms_window", LatencyBuckets, obs.DefaultWindowInterval, obs.DefaultWindowSlots),
 	}
 }
 
 // Registry exposes the engine's metrics registry (for export surfaces
 // like psmd's /metrics).
 func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// JoinLatencyWindow returns the join-latency distribution over the most
+// recent sliding window — the live counterpart of the cumulative
+// psmd_join_latency_ms histogram, feeding /v1/status quantiles.
+func (e *Engine) JoinLatencyWindow() obs.HistogramSnapshot { return e.hJoinWin.Snapshot() }
 
 // Session is one open trace being streamed in. It is single-producer:
 // Append/Close/Abort must not be called concurrently on the same session,
@@ -469,7 +476,9 @@ func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 		//psmlint:ignore nondet-source join-latency metric only; never reaches the model
 		el := time.Since(start)
 		e.mJoinNanos.Add(el.Nanoseconds())
-		e.hJoin.Observe(float64(el.Nanoseconds()) / 1e6)
+		ms := float64(el.Nanoseconds()) / 1e6
+		e.hJoin.Observe(ms)
+		e.hJoinWin.Observe(ms)
 	}()
 	if obs.RegistryFrom(ctx) == nil {
 		// Bill the join's merge counters (checks, evals, cases) to the

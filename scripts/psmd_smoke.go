@@ -62,8 +62,10 @@ func run() error {
 	}
 	defer daemon.Process.Kill() // no-op after the graceful exit below
 
+	// psmd logs structured NDJSON events; the "serving" event carries
+	// the bound address as an attribute.
 	logs := bufio.NewScanner(stderr)
-	addrRe := regexp.MustCompile(`serving on (\S+)`)
+	addrRe := regexp.MustCompile(`"msg":"serving".*"addr":"([^"]+)"`)
 	addrc := make(chan string, 1)
 	go func() {
 		for logs.Scan() {
@@ -145,6 +147,94 @@ func run() error {
 	}
 	if mdoc.PSMD.RecordsIngested != traceInstants || mdoc.PSMD.TracesCompleted != 1 || mdoc.PSMD.OpenSessions != 0 {
 		return fmt.Errorf("metrics report %+v, want %d records / 1 trace / 0 open", mdoc.PSMD, traceInstants)
+	}
+
+	// The health surface must report ready with sane windowed quantiles
+	// after the traffic above.
+	resp, err = http.Get(base + "/v1/status")
+	if err != nil {
+		return err
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/status: status %d: %s", resp.StatusCode, body)
+	}
+	var sdoc struct {
+		Ready          bool `json:"ready"`
+		ModelAvailable bool `json:"model_available"`
+		Ingest         struct {
+			Count int64   `json:"count"`
+			P50Ms float64 `json:"p50_ms"`
+			P95Ms float64 `json:"p95_ms"`
+			P99Ms float64 `json:"p99_ms"`
+		} `json:"ingest"`
+		Errors struct {
+			Requests int64 `json:"requests"`
+			Errors   int64 `json:"errors"`
+		} `json:"errors"`
+	}
+	if err := json.Unmarshal(body, &sdoc); err != nil {
+		return fmt.Errorf("GET /v1/status: %v\n%s", err, body)
+	}
+	if !sdoc.Ready || !sdoc.ModelAvailable {
+		return fmt.Errorf("status not healthy after traffic: %s", body)
+	}
+	if sdoc.Ingest.Count == 0 || sdoc.Ingest.P99Ms <= 0 ||
+		sdoc.Ingest.P50Ms > sdoc.Ingest.P95Ms || sdoc.Ingest.P95Ms > sdoc.Ingest.P99Ms {
+		return fmt.Errorf("ingest quantiles implausible: %s", body)
+	}
+	if sdoc.Errors.Requests == 0 || sdoc.Errors.Errors != 0 {
+		return fmt.Errorf("SLO error accounting implausible: %s", body)
+	}
+
+	// The flight recorder must have captured the session: a post-traffic
+	// dump is non-empty NDJSON with span events in sequence order.
+	resp, err = http.Get(base + "/debug/flight")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return fmt.Errorf("GET /debug/flight: status %d", resp.StatusCode)
+	}
+	var (
+		flightLines int
+		flightSpans int
+		lastSeq     uint64
+	)
+	fl := bufio.NewScanner(resp.Body)
+	fl.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for fl.Scan() {
+		line := strings.TrimSpace(fl.Text())
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			resp.Body.Close()
+			return fmt.Errorf("GET /debug/flight: unparseable line: %v: %.120s", err, line)
+		}
+		if ev.Seq <= lastSeq || ev.Name == "" || (ev.Kind != "span" && ev.Kind != "log") {
+			resp.Body.Close()
+			return fmt.Errorf("GET /debug/flight: malformed event: %.120s", line)
+		}
+		lastSeq = ev.Seq
+		flightLines++
+		if ev.Kind == "span" {
+			flightSpans++
+		}
+	}
+	resp.Body.Close()
+	if err := fl.Err(); err != nil {
+		return fmt.Errorf("GET /debug/flight: %v", err)
+	}
+	if flightLines == 0 || flightSpans == 0 {
+		return fmt.Errorf("flight dump empty after traffic (%d lines, %d spans)", flightLines, flightSpans)
 	}
 
 	// Graceful shutdown: SIGTERM must drain and exit 0.
