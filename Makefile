@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fmt vet lint lint-sarif verify fuzz psmd-smoke bench-obs bench-join bench-power bench-ingest ci
+.PHONY: build test race fmt vet lint lint-sarif verify fuzz psmd-smoke bench-obs bench-join bench-power bench-ingest bench-shard ci
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ race:
 	# Concurrency layer under load: GOMAXPROCS>1 so the pools really
 	# interleave even on single-core CI runners (the equivalence and
 	# property tests inside force worker counts > 1).
-	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/pipeline ./internal/mining ./internal/experiment ./internal/serve ./internal/stream ./internal/psm ./internal/power ./internal/hdl ./internal/obs
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/pipeline ./internal/mining ./internal/experiment ./internal/serve ./internal/stream ./internal/shard ./internal/psm ./internal/power ./internal/hdl ./internal/obs
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -93,6 +93,16 @@ bench-power:
 bench-ingest:
 	BENCH_INGEST=1 $(GO) test -run TestIngestGate -count=1 -v .
 	$(GO) run ./scripts/bench_ingest
+
+# Shard scaling gate: every shard count in {1,2,4,8} must reduce the
+# workload to a model deep-equal to the single-engine reference with
+# zero shed batches, and at 4 shards the coordinator must beat one
+# engine by >=3x wall clock (the throughput assertion needs real cores
+# and is enforced when GOMAXPROCS >= 6 — see EXPERIMENTS.md), then the
+# loadgen sweep refreshes the committed BENCH_shard.json.
+bench-shard:
+	BENCH_SHARD=1 $(GO) test -run TestShardScalingGate -count=1 -v .
+	$(GO) run ./scripts/loadgen
 
 # Short fuzz smoke: run each native fuzz target for a few seconds on top
 # of its committed seed corpus (testdata/fuzz/). Longer sessions: raise

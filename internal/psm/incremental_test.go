@@ -261,42 +261,56 @@ func TestJoinerSnapshotDoesNotMutateFold(t *testing.T) {
 	}
 }
 
-// TestJoinerResetKeepsMemo: an epoch reset voids the fold but not the
-// verdict memo (verdicts are pure in the power moments).
-func TestJoinerResetKeepsMemo(t *testing.T) {
+// TestJoinerResetReuseAcrossEpochs is the reuse-across-epochs
+// regression test: Reset must void the fold, the verdict memo and its
+// eval/hit accounting atomically, leaving the joiner indistinguishable
+// from a fresh NewJoiner — the second epoch's model and its memo
+// counters must both equal a fresh joiner's over the same chains.
+func TestJoinerResetReuseAcrossEpochs(t *testing.T) {
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(9))
-	chains := randChains(rng)
+	epoch1 := randChains(rng)
+	epoch2 := randChains(rng)
+
 	j := NewJoiner(DefaultMergePolicy())
-	for _, c := range chains {
+	for _, c := range epoch1 {
 		j.Add(ctx, c)
 	}
 	j.Snapshot(ctx)
-	evals, len0 := j.Memo().Evals(), j.Memo().Len()
-	if evals == 0 || len0 == 0 {
-		t.Fatalf("memo unused by the fold: %d evals, %d entries", evals, len0)
+	if j.Memo().Evals() == 0 || j.Memo().Len() == 0 {
+		t.Fatalf("memo unused by the fold: %d evals, %d entries", j.Memo().Evals(), j.Memo().Len())
 	}
+
 	j.Reset()
 	if j.Pooled() != 0 {
 		t.Fatalf("reset left %d pooled states", j.Pooled())
 	}
-	if j.Memo().Len() != len0 {
-		t.Fatalf("reset dropped the memo: %d entries, want %d", j.Memo().Len(), len0)
+	if n := j.Memo().Len(); n != 0 {
+		t.Fatalf("reset kept %d memoized verdicts, want 0", n)
 	}
-	// Re-folding the same chains after the reset must be all memo hits.
-	hits0 := j.Memo().Hits()
-	for _, c := range chains {
+	if e, h := j.Memo().Evals(), j.Memo().Hits(); e != 0 || h != 0 {
+		t.Fatalf("reset kept memo accounting: %d evals, %d hits, want 0/0", e, h)
+	}
+
+	// Epoch 2 on the reused joiner vs a fresh one: identical model,
+	// identical memo accounting — nothing of epoch 1 may leak through.
+	fresh := NewJoiner(DefaultMergePolicy())
+	for _, c := range epoch2 {
 		j.Add(ctx, c)
+		fresh.Add(ctx, c)
 	}
-	got := j.Snapshot(ctx)
-	if j.Memo().Evals() != evals {
-		t.Fatalf("re-fold recomputed verdicts: %d evals, want %d", j.Memo().Evals(), evals)
+	got, want := j.Snapshot(ctx), fresh.Snapshot(ctx)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("reused joiner diverges from a fresh joiner after Reset")
 	}
-	if j.Memo().Hits() == hits0 {
-		t.Fatal("re-fold never hit the memo")
-	}
-	if want := Join(chains, DefaultMergePolicy()); !reflect.DeepEqual(want, got) {
+	if batch := Join(epoch2, DefaultMergePolicy()); !reflect.DeepEqual(batch, got) {
 		t.Fatal("post-reset re-fold diverges from batch join")
+	}
+	if j.Memo().Evals() != fresh.Memo().Evals() || j.Memo().Hits() != fresh.Memo().Hits() ||
+		j.Memo().Len() != fresh.Memo().Len() {
+		t.Fatalf("reused joiner's memo accounting differs from fresh: %d/%d/%d vs %d/%d/%d",
+			j.Memo().Evals(), j.Memo().Hits(), j.Memo().Len(),
+			fresh.Memo().Evals(), fresh.Memo().Hits(), fresh.Memo().Len())
 	}
 }
 

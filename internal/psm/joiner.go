@@ -30,9 +30,10 @@ import (
 // its lock.
 type Joiner struct {
 	policy MergePolicy
-	// memo caches mergeability verdicts across Add calls, snapshots and
-	// epochs — verdicts are pure in the moments pair, so a dictionary
-	// change cannot invalidate them.
+	// memo caches mergeability verdicts across Add calls and snapshots
+	// within one epoch; Reset clears it together with the fold, so the
+	// memo's accounting (and its memory) always belongs to the current
+	// epoch.
 	memo *EvalMemo
 	dict *mining.Dictionary
 	// kept holds the phase-1 survivors in adoption order (the fixpoint's
@@ -56,9 +57,14 @@ func NewJoiner(policy MergePolicy) *Joiner {
 	return j
 }
 
-// Reset discards the accumulated fold (epoch change: every proposition
-// id and chain is void) but keeps the verdict memo — verdicts depend
-// only on power moments, which survive re-mining.
+// Reset discards the accumulated fold AND the verdict memo in one step
+// (epoch change: every proposition id and chain is void). Memoized
+// verdicts are pure in the power moments and would stay correct across
+// re-mining, but retaining them made a reset only partial: the memo's
+// eval/hit counters kept spanning epochs and its map pinned the old
+// epoch's memory. A Joiner that has been Reset is indistinguishable
+// from a fresh NewJoiner of the same policy and memo bound — pinned by
+// TestJoinerResetReuseAcrossEpochs.
 func (j *Joiner) Reset() {
 	j.dict = nil
 	j.kept = nil
@@ -66,6 +72,7 @@ func (j *Joiner) Reset() {
 	j.transIdx = make(map[transKey]int)
 	j.initials = make(map[int]int)
 	j.pooled = 0
+	j.memo.Reset()
 }
 
 // Policy returns the joiner's merge policy.

@@ -61,6 +61,16 @@ func (mo *EvalMemo) SetLimit(n int) {
 // under.
 func (mo *EvalMemo) Policy() MergePolicy { return mo.policy }
 
+// Reset drops every cached verdict and zeroes the eval/hit accounting
+// in one step; the policy and entry bound survive. Joiner.Reset calls
+// it at an epoch boundary so the memo's counters always describe one
+// epoch and the map's memory is released with the fold it served.
+func (mo *EvalMemo) Reset() {
+	mo.m = make(map[momentsPair]MergeOutcome)
+	mo.evals = 0
+	mo.hits = 0
+}
+
 // Evaluate returns the memoized verdict for the ordered pair ⟨a, b⟩,
 // computing and caching it on first sight.
 func (mo *EvalMemo) Evaluate(a, b stats.Moments) MergeOutcome {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"psmkit/internal/obs"
+	"psmkit/internal/shard"
 	"psmkit/internal/stream"
 )
 
@@ -40,6 +41,10 @@ type metricsDoc struct {
 	// SlowSessions is the top-K slowest /v1/traces sessions with their
 	// per-stage wall-time attribution.
 	SlowSessions []sessionTimeline `json:"slow_sessions"`
+	// Shards carries the per-shard rows under sharded ingest (-shards>1):
+	// one entry per shard engine with its own ingest counters, live queue
+	// depth and load-shed count. Absent on the single-engine path.
+	Shards []shard.ShardMetric `json:"shards,omitempty"`
 }
 
 func metricsOf(m stream.Metrics, uptime time.Duration) metricsDoc {
@@ -93,15 +98,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		doc := metricsOf(s.eng.Metrics(), time.Since(s.start))
+		doc := metricsOf(s.Metrics(), time.Since(s.start))
 		doc.SlowSessions = s.slowSessions()
+		doc.Shards = s.ShardMetrics()
 		//psmlint:ignore err-drop response already committed; a write error here means the client left
 		obs.WriteExpvarJSON(w, map[string]interface{}{
 			"psmd":          doc,
-			"psmd_registry": s.eng.Registry().Snapshot(),
+			"psmd_registry": s.registry().Snapshot(),
 		})
 	case "prometheus":
-		reg := s.eng.Registry()
+		reg := s.registry()
 		reg.Gauge("psmd_uptime_seconds").Set(time.Since(s.start).Seconds())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		//psmlint:ignore err-drop response already committed; a write error here means the client left

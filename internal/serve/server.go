@@ -29,11 +29,14 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,15 +46,39 @@ import (
 	"psmkit/internal/logic"
 	"psmkit/internal/obs"
 	"psmkit/internal/powersim"
+	"psmkit/internal/psm"
+	"psmkit/internal/shard"
 	"psmkit/internal/stats"
 	"psmkit/internal/stream"
+	"psmkit/internal/trace"
 )
 
 // Config tunes the server.
 type Config struct {
 	// Stream configures the ingestion engine (policies, worker budget,
-	// per-session record bound, open-session cap).
+	// per-session record bound, open-session cap). Under sharding
+	// (Shards > 1) every shard engine gets this configuration;
+	// MaxOpenSessions then caps each shard, not the fleet.
 	Stream stream.Config
+	// Shards selects the sharded ingest fan-out: > 1 partitions sessions
+	// across that many engines behind a shard.Coordinator (consistent
+	// hash on the session id, one reducer goroutine per shard, bounded
+	// queues with 429 + Retry-After load-shed). The served model stays
+	// byte-identical to the single-engine path; ≤ 1 runs one engine
+	// in-handler, exactly as before.
+	Shards int
+	// ShardQueueDepth bounds each shard's task queue in batches;
+	// ≤ 0 selects the shard package default (512).
+	ShardQueueDepth int
+	// ShardEnqueueTimeout is how long an append may block on a saturated
+	// shard before the upload is shed with 429 + Retry-After; ≤ 0
+	// selects the shard package default (2 s).
+	ShardEnqueueTimeout time.Duration
+	// RetryAfter is the back-off hint attached to admission-control 429s
+	// of the single-engine path (open-session cap); ≤ 0 selects 1 s.
+	// Sharded load-shed responses use the shard's enqueue timeout
+	// instead — that is how long the queue actually stayed full.
+	RetryAfter time.Duration
 	// MaxLineBytes bounds one NDJSON line of an upload; ≤ 0 selects 1 MiB.
 	MaxLineBytes int
 	// IngestBatch is how many records the trace ingest path accumulates
@@ -103,10 +130,13 @@ func DefaultConfig() Config {
 	}
 }
 
-// Server routes the endpoints to a streaming engine.
+// Server routes the endpoints to a streaming engine — or, when
+// cfg.Shards > 1, to a shard.Coordinator running several of them as one
+// logical model. Exactly one of eng and co is set.
 type Server struct {
 	cfg    Config
 	eng    *stream.Engine
+	co     *shard.Coordinator
 	start  time.Time
 	tracer *obs.Tracer
 	flight *obs.Flight
@@ -131,7 +161,17 @@ type Server struct {
 // flight recorder, and the /v1/ middleware keeps the windowed SLO
 // instruments current.
 func New(cfg Config) *Server {
-	s := &Server{cfg: cfg, eng: stream.NewEngine(cfg.Stream), start: time.Now(), log: cfg.Log}
+	s := &Server{cfg: cfg, start: time.Now(), log: cfg.Log}
+	if cfg.Shards > 1 {
+		s.co = shard.New(shard.Config{
+			Shards:         cfg.Shards,
+			Stream:         cfg.Stream,
+			QueueDepth:     cfg.ShardQueueDepth,
+			EnqueueTimeout: cfg.ShardEnqueueTimeout,
+		})
+	} else {
+		s.eng = stream.NewEngine(cfg.Stream)
+	}
 	s.flight = cfg.Flight
 	if s.flight == nil {
 		s.flight = obs.NewFlight(cfg.FlightEntries)
@@ -140,7 +180,7 @@ func New(cfg Config) *Server {
 	if s.tracer == nil {
 		s.tracer = obs.NewTracer(nil)
 	}
-	reg := s.eng.Registry()
+	reg := s.registry()
 	s.tracer.SetFlight(s.flight)
 	s.tracer.SetSpanWindow(reg.Window("psmd_span_ms_window", stream.LatencyBuckets, obs.DefaultWindowInterval, obs.DefaultWindowSlots))
 	s.mReqs = reg.Counter("psmd_requests_total")
@@ -155,8 +195,81 @@ func New(cfg Config) *Server {
 // crash-path dumps).
 func (s *Server) Flight() *obs.Flight { return s.flight }
 
-// Engine exposes the underlying engine (tests, cmd wiring).
+// Engine exposes the underlying engine (tests, cmd wiring). It is nil
+// under sharding — use Coordinator there, or Metrics for the counters.
 func (s *Server) Engine() *stream.Engine { return s.eng }
+
+// Coordinator exposes the shard coordinator (nil when Shards ≤ 1).
+func (s *Server) Coordinator() *shard.Coordinator { return s.co }
+
+// The two backends expose the same model/metrics surface; these
+// accessors pick the live one so every handler is backend-agnostic.
+
+func (s *Server) registry() *obs.Registry {
+	if s.co != nil {
+		return s.co.Registry()
+	}
+	return s.eng.Registry()
+}
+
+func (s *Server) snapshot(ctx context.Context) (*psm.Model, error) {
+	if s.co != nil {
+		return s.co.Snapshot(ctx)
+	}
+	return s.eng.Snapshot(ctx)
+}
+
+func (s *Server) provenance(ctx context.Context) ([]obs.MergeDecision, error) {
+	if s.co != nil {
+		return s.co.Provenance(ctx)
+	}
+	return s.eng.Provenance(ctx)
+}
+
+func (s *Server) inputCols() []int {
+	if s.co != nil {
+		return s.co.InputCols()
+	}
+	return s.eng.InputCols()
+}
+
+func (s *Server) joinWindow() obs.HistogramSnapshot {
+	if s.co != nil {
+		return s.co.JoinLatencyWindow()
+	}
+	return s.eng.JoinLatencyWindow()
+}
+
+// Metrics returns the backend's aggregated counters (the fleet sum
+// under sharding; see shard.Coordinator.Metrics).
+func (s *Server) Metrics() stream.Metrics {
+	if s.co != nil {
+		return s.co.Metrics()
+	}
+	return s.eng.Metrics()
+}
+
+// ShardMetrics returns the per-shard rows (nil when not sharded).
+func (s *Server) ShardMetrics() []shard.ShardMetric {
+	if s.co == nil {
+		return nil
+	}
+	return s.co.ShardMetrics()
+}
+
+// Drain is the graceful-shutdown barrier, called after the HTTP server
+// has stopped accepting requests: under sharding it flushes every shard
+// queue into the engines — so the final metrics and any final snapshot
+// cover everything acknowledged — and stops the shard workers. The
+// single-engine path has nothing queued and nothing to stop.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.co == nil {
+		return nil
+	}
+	err := s.co.Flush(ctx)
+	s.co.Close()
+	return err
+}
 
 // Handler returns the route table. Every request context carries the
 // server's tracer, so the engine's spans (ingest, snapshot, simplify,
@@ -236,10 +349,43 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
-// ingestResult is the response of a completed upload.
+// ingestResult is the response of a completed upload. Trace is the
+// backend-local completion index (shard-local under sharding, where
+// Shard identifies the engine that owns the session).
 type ingestResult struct {
-	Trace   int `json:"trace"`
-	Records int `json:"records"`
+	Trace   int  `json:"trace"`
+	Records int  `json:"records"`
+	Shard   *int `json:"shard,omitempty"`
+}
+
+// ingestError maps an ingest-path failure onto its HTTP status.
+// Admission-control and load-shed rejections are 429s carrying a
+// Retry-After hint: the shard's enqueue timeout when a queue shed the
+// upload (that is how long it actually stayed full), the configured
+// single-engine hint when the open-session cap rejected it. Everything
+// else is the client's malformed stream — 400.
+func (s *Server) ingestError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	var sat *shard.SaturatedError
+	switch {
+	case errors.As(err, &sat):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(sat.RetryAfter)))
+	case strings.Contains(err.Error(), "sessions already open"):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// retryAfterSeconds renders a back-off hint as whole seconds, rounding
+// up and clamping to at least 1 (the smallest honest Retry-After).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // handleTraces ingests one NDJSON trace stream as a session. The request
@@ -272,14 +418,14 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if s.co != nil {
+		s.handleTracesSharded(w, r, begin, span, sc, sigs)
+		return
+	}
 	sess, err := s.eng.Open(sigs)
 	if err != nil {
-		code := http.StatusBadRequest
-		if strings.Contains(err.Error(), "sessions already open") {
-			code = http.StatusTooManyRequests
-		}
 		s.log.Warn("session rejected", obs.KV("err", err.Error()))
-		http.Error(w, err.Error(), code)
+		s.ingestError(w, err)
 		return
 	}
 
@@ -391,6 +537,109 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ingestResult{Trace: idx, Records: n})
 }
 
+// handleTracesSharded is the sharded twin of the ingest loop: the
+// handler only frames raw NDJSON lines into batches and hands them to
+// the session's shard (shard.Session.AppendLines transfers buffer
+// ownership); the shard's reducer goroutine does the parse and the
+// atom-signature reduction off the request path. The optional
+// ?session= query parameter names the session for routing — uploads
+// sharing an id land on the same shard; absent, the coordinator
+// assigns one.
+func (s *Server) handleTracesSharded(w http.ResponseWriter, r *http.Request, begin time.Time, span *obs.Span, sc *stream.Scanner, sigs []trace.Signal) {
+	sess, err := s.co.Open(r.Context(), r.URL.Query().Get("session"), sigs)
+	if err != nil {
+		s.log.Warn("session rejected", obs.KV("err", err.Error()))
+		s.ingestError(w, err)
+		return
+	}
+
+	// Same timeline discipline as the single-engine path, but parse and
+	// reduce run on the shard worker: the handler's wall time splits into
+	// scan (framing) and join (the Close round-trip, which rides behind
+	// everything queued for the shard).
+	tl := &sessionTimeline{Session: s.nextSession.Add(1), Trace: -1}
+	sw := &statusWriter{ResponseWriter: w, commit: func(int) {
+		tl.TotalNS = time.Since(begin).Nanoseconds()
+		s.recordTimeline(tl)
+	}}
+	w = sw
+	defer func() {
+		if sw.code == 0 {
+			sw.commit(0)
+		}
+	}()
+
+	batch := s.cfg.IngestBatch
+	if batch <= 0 {
+		batch = 256
+	}
+	var (
+		buf       []byte
+		records   int
+		firstLine int
+	)
+	flush := func() error {
+		if records == 0 {
+			return nil
+		}
+		err := sess.AppendLines(buf, records, firstLine)
+		tl.Records += records
+		// Ownership of buf moved to the shard; the next batch allocates.
+		buf, records = nil, 0
+		return err
+	}
+	for {
+		if err := r.Context().Err(); err != nil {
+			sess.Abort()
+			return // connection is gone; no response reaches the client
+		}
+		t0 := time.Now()
+		line, err := sc.Line()
+		tl.ScanNS += time.Since(t0).Nanoseconds()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sess.Abort()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if records == 0 {
+			firstLine = sc.Lines()
+			buf = make([]byte, 0, batch*(len(line)+16))
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		records++
+		if records == batch {
+			if err := flush(); err != nil {
+				sess.Abort()
+				s.ingestError(w, err)
+				return
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		sess.Abort()
+		s.ingestError(w, err)
+		return
+	}
+	t0 := time.Now()
+	local, n, err := sess.Close(r.Context())
+	tl.JoinNS += time.Since(t0).Nanoseconds()
+	if err != nil {
+		s.log.Warn("session close failed", obs.KV("err", err.Error()))
+		s.ingestError(w, err)
+		return
+	}
+	tl.Trace = local
+	shardIdx := sess.Shard()
+	span.SetAttr("trace", local)
+	span.SetAttr("records", n)
+	span.SetAttr("shard", shardIdx)
+	writeJSON(w, http.StatusOK, ingestResult{Trace: local, Records: n, Shard: &shardIdx})
+}
+
 // handleModel exports the live model after the psmlint rule set clears
 // it: a model that fails verification is a pipeline bug and must not
 // leave the process looking like a result.
@@ -399,7 +648,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	m, err := s.eng.Snapshot(r.Context())
+	m, err := s.snapshot(r.Context())
 	if err != nil {
 		code := http.StatusInternalServerError
 		if strings.Contains(err.Error(), "no completed traces") {
@@ -444,7 +693,7 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	ds, err := s.eng.Provenance(r.Context())
+	ds, err := s.provenance(r.Context())
 	if err != nil {
 		code := http.StatusInternalServerError
 		if strings.Contains(err.Error(), "no completed traces") {
@@ -480,7 +729,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	m, err := s.eng.Snapshot(r.Context())
+	m, err := s.snapshot(r.Context())
 	if err != nil {
 		code := http.StatusInternalServerError
 		if strings.Contains(err.Error(), "no completed traces") {
@@ -501,7 +750,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	sim := powersim.New(m, s.eng.InputCols(), s.cfg.Sim)
+	sim := powersim.New(m, s.inputCols(), s.cfg.Sim)
 	var (
 		raw       stream.RawRecord
 		row       []logic.Vector

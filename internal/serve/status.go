@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"psmkit/internal/obs"
+	"psmkit/internal/shard"
 )
 
 // maxSlowSessions bounds the top-K slow-session table.
@@ -114,17 +115,22 @@ type statusObjectives struct {
 
 // statusDoc is the GET /v1/status document.
 type statusDoc struct {
-	Ready          bool              `json:"ready"`
-	ModelAvailable bool              `json:"model_available"`
-	SLOOK          bool              `json:"slo_ok"`
-	UptimeSeconds  float64           `json:"uptime_seconds"`
-	Objectives     statusObjectives  `json:"objectives"`
-	Ingest         statusWindow      `json:"ingest"`
-	Join           statusWindow      `json:"join"`
-	Errors         statusErrors      `json:"errors"`
-	Engine         statusEngine      `json:"engine"`
-	SlowSessions   []sessionTimeline `json:"slow_sessions"`
-	Flight         statusFlight      `json:"flight"`
+	Ready          bool             `json:"ready"`
+	ModelAvailable bool             `json:"model_available"`
+	SLOOK          bool             `json:"slo_ok"`
+	UptimeSeconds  float64          `json:"uptime_seconds"`
+	Objectives     statusObjectives `json:"objectives"`
+	Ingest         statusWindow     `json:"ingest"`
+	Join           statusWindow     `json:"join"`
+	Errors         statusErrors     `json:"errors"`
+	Engine         statusEngine     `json:"engine"`
+	// Shards carries the per-shard rows under sharded ingest: the Engine
+	// block then holds the fleet sums, and each row here attributes them
+	// to its shard engine together with the live queue depth and the
+	// load-shed count. Absent on the single-engine path.
+	Shards       []shard.ShardMetric `json:"shards,omitempty"`
+	SlowSessions []sessionTimeline   `json:"slow_sessions"`
+	Flight       statusFlight        `json:"flight"`
 }
 
 // handleStatus serves the SLO health surface: readiness, windowed
@@ -138,8 +144,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	m := s.eng.Metrics()
-	reg := s.eng.Registry()
+	m := s.Metrics()
+	reg := s.registry()
 	doc := statusDoc{
 		Ready:          true,
 		ModelAvailable: m.TracesCompleted > 0,
@@ -151,7 +157,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Ingest: windowStatus(s.hIngestWin.Snapshot(), s.hIngestWin.WindowDuration(), s.cfg.SLO.IngestP99Ms),
 		// The engine's join window shares the default geometry (see
 		// stream.NewEngine); no p99 objective is configured for joins.
-		Join: windowStatus(s.eng.JoinLatencyWindow(), obs.DefaultWindowInterval*time.Duration(obs.DefaultWindowSlots), 0),
+		Join: windowStatus(s.joinWindow(), obs.DefaultWindowInterval*time.Duration(obs.DefaultWindowSlots), 0),
 		Engine: statusEngine{
 			SessionsOpen:    m.OpenSessions,
 			TracesCompleted: m.TracesCompleted,
@@ -163,6 +169,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			DeltaSnapshots:  m.DeltaSnapshots,
 			QueueDepth:      reg.Gauge("pipeline_pool_queue_depth").Value(),
 		},
+		Shards:       s.ShardMetrics(),
 		SlowSessions: s.slowSessions(),
 		Flight: statusFlight{
 			Capacity: s.flight.Capacity(),

@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic pins that routing is a pure function of the
+// session id and the shard count — two rings built for the same count
+// agree on every key, and a single-shard ring routes everything to 0.
+func TestRingDeterministic(t *testing.T) {
+	a, b := newRing(8), newRing(8)
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("sess-%d", i)
+		if a.shardOf(id) != b.shardOf(id) {
+			t.Fatalf("rings disagree on %q: %d vs %d", id, a.shardOf(id), b.shardOf(id))
+		}
+	}
+	single := newRing(1)
+	for i := 0; i < 100; i++ {
+		if sh := single.shardOf(fmt.Sprintf("x-%d", i)); sh != 0 {
+			t.Fatalf("1-shard ring routed to %d", sh)
+		}
+	}
+}
+
+// TestRingDistribution checks the vnode spread: over many ids no shard
+// may hold less than half or more than double its fair share.
+func TestRingDistribution(t *testing.T) {
+	const shards, keys = 8, 20000
+	r := newRing(shards)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.shardOf(fmt.Sprintf("sess-%d", i))]++
+	}
+	avg := keys / shards
+	for s, n := range counts {
+		if n < avg/2 || n > avg*2 {
+			t.Fatalf("shard %d holds %d of %d keys (fair share %d): vnode spread too lumpy (%v)",
+				s, n, keys, avg, counts)
+		}
+	}
+}
+
+// TestRingStabilityAcrossShardCounts pins the consistent-hashing
+// property the ring exists for: growing the fleet from 4 to 5 shards
+// moves roughly 1/5 of the keys, not a full reshuffle (a modulo hash
+// would move ~80%).
+func TestRingStabilityAcrossShardCounts(t *testing.T) {
+	const keys = 20000
+	r4, r5 := newRing(4), newRing(5)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		id := fmt.Sprintf("sess-%d", i)
+		if r4.shardOf(id) != r5.shardOf(id) {
+			moved++
+		}
+	}
+	if frac := float64(moved) / keys; frac > 0.45 {
+		t.Fatalf("%.0f%% of keys moved growing 4->5 shards; consistent hashing should move ~20%%", frac*100)
+	}
+}

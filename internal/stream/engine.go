@@ -161,9 +161,16 @@ var LatencyBuckets = obs.ExponentialBuckets(0.001, 4, 12)
 // The kept atom set depends on global statistics, so a completed session
 // can invalidate earlier decisions; the engine detects this by comparing
 // kept-atom indices per snapshot (an epoch) and rebuilds all chains from
-// the stored bitsets only then, folding incrementally otherwise. The
-// joiner's verdict memo survives epoch changes — mergeability is pure in
-// the power moments, which re-mining does not alter.
+// the stored bitsets only then, folding incrementally otherwise. An
+// epoch change resets the joiner wholesale — fold, verdict memo and its
+// accounting together (see psm.Joiner.Reset) — so everything the joiner
+// reports describes the current epoch.
+//
+// An engine can also run as one shard of a shard.Coordinator: the
+// coordinator imposes the globally-selected kept atom set through
+// ExportChains instead of letting the engine select its own, and joins
+// the shards' chains itself. The epoch cache works identically either
+// way — it is keyed on whatever kept set the caller brings.
 type Engine struct {
 	cfg        Config
 	candidates []mining.Atom // fixed per schema
@@ -499,55 +506,12 @@ func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 		return nil, fmt.Errorf("stream: no atomic proposition survived filtering (%d candidates over %d instants)",
 			len(e.candidates), e.totalRows)
 	}
-	rebuild := !equalInts(idx, e.keptIdx)
-	if rebuild {
-		// Epoch change: the new evidence moved the kept atom set, so every
-		// proposition id and chain is void. Rebuild from the stored
-		// bitsets — the only snapshot that is not incremental. The joiner
-		// keeps its verdict memo across the reset (verdicts are pure in
-		// the power moments).
-		e.keptIdx = append([]int(nil), idx...)
-		kept := make([]mining.Atom, len(idx))
-		for i, ci := range idx {
-			kept[i] = e.candidates[ci]
-		}
-		e.dict = mining.NewDictionary(e.schema, kept)
-		e.chains = nil
-		e.joiner.Reset()
-		e.built = 0
-		e.mRebuilds.Inc()
-		span.SetAttr("rebuild", true)
-	}
-
-	// Sequential phase: intern new sessions' run signatures in trace
-	// order (the batch replay order).
-	first := len(e.chains)
-	propIDs := make([][]int, len(e.completed))
-	for i := first; i < len(e.completed); i++ {
-		propIDs[i] = propIDsOf(e.dict, e.keptIdx, e.completed[i])
-	}
-
-	// Parallel phase: per-session segmentation + Simplify over the
-	// pipeline pool.
-	newChains := make([]*psm.Chain, len(e.completed)-first)
-	err := pipeline.ForEach(ctx, e.cfg.workers(), len(newChains), func(wctx context.Context, k int) error {
-		i := first + k
-		newChains[k] = chainOfSession(wctx, e.dict, propIDs[i], i, e.completed[i], e.cfg.Merge)
-		return nil
-	})
+	rebuild, err := e.ensureEpoch(ctx, idx)
 	if err != nil {
-		// The fan-out is pure; dropping the partial results keeps the
-		// cache consistent (they rebuild on the next snapshot).
 		return nil, err
 	}
-	for _, c := range newChains {
-		if c == nil {
-			// Mirror the batch generator's hard error: a trace too short
-			// to expose a temporal pattern fails the whole build there.
-			return nil, fmt.Errorf("stream: trace %d: proposition trace too short to expose a temporal pattern",
-				len(e.chains))
-		}
-		e.chains = append(e.chains, c)
+	if rebuild {
+		span.SetAttr("rebuild", true)
 	}
 
 	// Incremental join fold: each chain not yet folded passes through the
@@ -587,6 +551,68 @@ func (e *Engine) Snapshot(ctx context.Context) (*psm.Model, error) {
 	e.gServed.Set(float64(len(snap.States)))
 	span.SetAttr("states", len(snap.States))
 	return snap, nil
+}
+
+// ensureEpoch brings the epoch cache — dictionary and per-session
+// chains — up to date for the kept atom set idx, rebuilding everything
+// when idx differs from the cached epoch's. The caller holds e.mu and
+// brings whatever kept set governs it: Snapshot selects the engine's
+// own (local mining statistics), a shard coordinator imposes the
+// globally selected one through ExportChains. The incremental joiner
+// fold deliberately stays out of the cache maintenance: Snapshot folds
+// (it owns the joiner), ExportChains does not (the cross-shard join
+// pools the raw chains instead).
+func (e *Engine) ensureEpoch(ctx context.Context, idx []int) (rebuilt bool, err error) {
+	rebuilt = !equalInts(idx, e.keptIdx)
+	if rebuilt {
+		// Epoch change: the new evidence moved the kept atom set, so every
+		// proposition id and chain is void. Rebuild from the stored
+		// bitsets — the only path that is not incremental. The joiner
+		// reset clears its fold and verdict memo together (an epoch
+		// boundary, see psm.Joiner.Reset).
+		e.keptIdx = append([]int(nil), idx...)
+		kept := make([]mining.Atom, len(idx))
+		for i, ci := range idx {
+			kept[i] = e.candidates[ci]
+		}
+		e.dict = mining.NewDictionary(e.schema, kept)
+		e.chains = nil
+		e.joiner.Reset()
+		e.built = 0
+		e.mRebuilds.Inc()
+	}
+
+	// Sequential phase: intern new sessions' run signatures in trace
+	// order (the batch replay order).
+	first := len(e.chains)
+	propIDs := make([][]int, len(e.completed))
+	for i := first; i < len(e.completed); i++ {
+		propIDs[i] = propIDsOf(e.dict, e.keptIdx, e.completed[i])
+	}
+
+	// Parallel phase: per-session segmentation + Simplify over the
+	// pipeline pool.
+	newChains := make([]*psm.Chain, len(e.completed)-first)
+	err = pipeline.ForEach(ctx, e.cfg.workers(), len(newChains), func(wctx context.Context, k int) error {
+		i := first + k
+		newChains[k] = chainOfSession(wctx, e.dict, propIDs[i], i, e.completed[i], e.cfg.Merge)
+		return nil
+	})
+	if err != nil {
+		// The fan-out is pure; dropping the partial results keeps the
+		// cache consistent (they rebuild on the next snapshot).
+		return rebuilt, err
+	}
+	for _, c := range newChains {
+		if c == nil {
+			// Mirror the batch generator's hard error: a trace too short
+			// to expose a temporal pattern fails the whole build there.
+			return rebuilt, fmt.Errorf("stream: trace %d: proposition trace too short to expose a temporal pattern",
+				len(e.chains))
+		}
+		e.chains = append(e.chains, c)
+	}
+	return rebuilt, nil
 }
 
 // Metrics returns the current counters. Everything except
@@ -647,13 +673,9 @@ func (e *Engine) Provenance(ctx context.Context) ([]obs.MergeDecision, error) {
 
 	log := obs.NewProvenanceLog()
 	ctx = obs.WithProvenance(ctx, log)
-	chains := make([]*psm.Chain, 0, len(e.completed))
-	for i, d := range e.completed {
-		c := chainOfSession(ctx, dict, propIDsOf(dict, idx, d), i, d, e.cfg.Merge)
-		if c == nil {
-			return nil, fmt.Errorf("stream: trace %d: proposition trace too short to expose a temporal pattern", i)
-		}
-		chains = append(chains, c)
+	chains, err := e.provenanceChainsLocked(ctx, idx, dict, 0)
+	if err != nil {
+		return nil, err
 	}
 	psm.JoinPooledCtx(ctx, psm.Pool(chains), e.cfg.Merge)
 	span.SetAttr("decisions", log.Len())

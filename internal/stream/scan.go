@@ -143,6 +143,12 @@ func dropCR(line []byte) []byte {
 	return line
 }
 
+// Lines returns the number of physical lines consumed so far (the
+// 1-based number of the line most recently returned). The shard ingest
+// path stamps framed lines with it so worker-side parse errors carry
+// the same line numbers ScanRecord's own accounting would.
+func (s *Scanner) Lines() int { return s.lines }
+
 // ScanHeader parses the stream's header line (cf. Decoder.ReadHeader —
 // headers are one line per stream, so they take the encoding/json path
 // unconditionally).
@@ -199,6 +205,45 @@ func (s *Scanner) ScanRecord(rec *RawRecord) error {
 	rec.V = append(rec.V, rec.vbuf...)
 	if s.slow.P != nil {
 		rec.p = *s.slow.P
+		rec.P = &rec.p
+	} else {
+		rec.P = nil
+	}
+	return nil
+}
+
+// LineParser parses already-framed NDJSON record lines: the shard
+// ingest path, where the HTTP handler only frames and copies lines and
+// a shard worker parses them off its queue. It runs the Scanner's
+// strict fast path with the same encoding/json fallback, so an
+// accepted line decodes exactly as Scanner.ScanRecord would and a
+// rejected one fails with the same error shape. lineno is the record's
+// 1-based position in its upload, feeding the error text the way the
+// Scanner's line accounting does.
+type LineParser struct {
+	slow Record // fallback decode target, reused
+}
+
+// Parse parses one record line into rec (see Scanner.ScanRecord for the
+// aliasing rules: rec.V is valid only until the next Parse call on the
+// same line buffer).
+func (p *LineParser) Parse(line []byte, lineno int, rec *RawRecord) error {
+	if parseRecordFast(line, rec) {
+		return nil
+	}
+	p.slow.V = p.slow.V[:0]
+	p.slow.P = nil
+	if err := json.Unmarshal(line, &p.slow); err != nil {
+		return fmt.Errorf("stream: line %d: bad record: %v", lineno, err)
+	}
+	rec.V = rec.V[:0]
+	rec.vbuf = rec.vbuf[:0]
+	for _, v := range p.slow.V {
+		rec.vbuf = append(rec.vbuf, []byte(v))
+	}
+	rec.V = append(rec.V, rec.vbuf...)
+	if p.slow.P != nil {
+		rec.p = *p.slow.P
 		rec.P = &rec.p
 	} else {
 		rec.P = nil

@@ -1,8 +1,9 @@
 // Command psmd_smoke is the `make psmd-smoke` gate: it exercises the real
 // psmd and tracegen binaries end to end over HTTP — boot the daemon on an
-// ephemeral port, stream a generated RAM trace in, require GET /v1/model
-// to serve a verified model, require GET /metrics to report the ingested
-// record count, and shut the daemon down gracefully via SIGTERM.
+// ephemeral port with -shards=4, stream a generated RAM trace in, require
+// GET /v1/model to serve a verified model, require GET /metrics to report
+// the ingested record count fleet-wide plus one row per shard, and shut
+// the daemon down gracefully via SIGTERM.
 //
 // It exits 0 on success and 1 with a diagnostic on any failure, so it
 // slots into `make ci` next to the test and lint gates.
@@ -52,7 +53,7 @@ func run() error {
 
 	// Boot the daemon on an ephemeral port and learn the address from its
 	// startup log.
-	daemon := exec.Command(psmd, "-addr", "127.0.0.1:0", "-inputs", "en,we,addr,wdata")
+	daemon := exec.Command(psmd, "-addr", "127.0.0.1:0", "-shards", "4", "-inputs", "en,we,addr,wdata")
 	stderr, err := daemon.StderrPipe()
 	if err != nil {
 		return err
@@ -107,10 +108,15 @@ func run() error {
 		return fmt.Errorf("POST /v1/traces: status %d: %s", resp.StatusCode, body)
 	}
 	var ack struct {
-		Records int `json:"records"`
+		Records int  `json:"records"`
+		Shard   *int `json:"shard"`
 	}
 	if err := json.Unmarshal(body, &ack); err != nil || ack.Records != traceInstants {
 		return fmt.Errorf("ingest acknowledged %d records, want %d (%v)", ack.Records, traceInstants, err)
+	}
+	// Under -shards the ack names the shard that owned the session.
+	if ack.Shard == nil || *ack.Shard < 0 || *ack.Shard >= 4 {
+		return fmt.Errorf("sharded ingest ack missing a valid shard index: %s", body)
 	}
 
 	// The model endpoint runs the psmlint rule set before serving; a 200
@@ -140,6 +146,13 @@ func run() error {
 			RecordsIngested int64 `json:"records_ingested"`
 			TracesCompleted int   `json:"traces_completed"`
 			OpenSessions    int   `json:"open_sessions"`
+			Shards          []struct {
+				Shard           int   `json:"shard"`
+				RecordsIngested int64 `json:"records_ingested"`
+				TracesCompleted int   `json:"traces_completed"`
+				QueueCap        int   `json:"queue_cap"`
+				Shed            int64 `json:"shed_total"`
+			} `json:"shards"`
 		} `json:"psmd"`
 	}
 	if err := json.Unmarshal(body, &mdoc); err != nil {
@@ -147,6 +160,33 @@ func run() error {
 	}
 	if mdoc.PSMD.RecordsIngested != traceInstants || mdoc.PSMD.TracesCompleted != 1 || mdoc.PSMD.OpenSessions != 0 {
 		return fmt.Errorf("metrics report %+v, want %d records / 1 trace / 0 open", mdoc.PSMD, traceInstants)
+	}
+	// One metrics row per shard, indices in order, bounded queues live,
+	// nothing shed, and the per-shard counters summing to the fleet view.
+	if len(mdoc.PSMD.Shards) != 4 {
+		return fmt.Errorf("metrics carry %d shard rows, want 4: %s", len(mdoc.PSMD.Shards), body)
+	}
+	var shardRecords int64
+	var shardTraces int
+	for i, row := range mdoc.PSMD.Shards {
+		if row.Shard != i {
+			return fmt.Errorf("shard row %d reports index %d: %s", i, row.Shard, body)
+		}
+		if row.QueueCap <= 0 {
+			return fmt.Errorf("shard %d reports no bounded queue: %s", i, body)
+		}
+		if row.Shed != 0 {
+			return fmt.Errorf("shard %d shed %d batches during the smoke", i, row.Shed)
+		}
+		shardRecords += row.RecordsIngested
+		shardTraces += row.TracesCompleted
+	}
+	if shardRecords != traceInstants || shardTraces != 1 {
+		return fmt.Errorf("shard rows sum to %d records / %d traces, want %d / 1", shardRecords, shardTraces, traceInstants)
+	}
+	if mdoc.PSMD.Shards[*ack.Shard].RecordsIngested != traceInstants {
+		return fmt.Errorf("shard %d owned the session but reports %d records",
+			*ack.Shard, mdoc.PSMD.Shards[*ack.Shard].RecordsIngested)
 	}
 
 	// The health surface must report ready with sane windowed quantiles
